@@ -1,0 +1,42 @@
+// Shared helpers for the experiment harness binaries. Every bench prints
+// the reconstructed paper artifact (table or figure series) to stdout and
+// then runs its google-benchmark timing section, so
+//   for b in build/bench/*; do $b; done
+// regenerates the full evaluation.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace confnet::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_artifact,
+                         const std::string& question) {
+  std::cout << "\n=================================================================\n"
+            << experiment << " — reconstruction of " << paper_artifact << "\n"
+            << question << "\n"
+            << "=================================================================\n";
+}
+
+inline void show(const util::Table& table) {
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+/// Standard main: emit tables first, then any registered benchmarks.
+#define CONFNET_BENCH_MAIN(emit_tables_fn)                       \
+  int main(int argc, char** argv) {                              \
+    emit_tables_fn();                                            \
+    ::benchmark::Initialize(&argc, argv);                        \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                       \
+    ::benchmark::Shutdown();                                     \
+    return 0;                                                    \
+  }
+
+}  // namespace confnet::bench

@@ -1,0 +1,87 @@
+// E13 (extension): blocking banyan vs rearrangeable Benes for unicast.
+//
+// Context for the paper's hardware argument: a single banyan passes almost
+// no random permutation without conflicts; the Benes network (two
+// butterflies back to back, ~2x crosspoints) passes all of them via the
+// looping algorithm. Conference traffic faces the same trade-off one level
+// up — dilation/replication/placement instead of extra stages.
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "min/benes.hpp"
+#include "min/permroute.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace confnet {
+namespace {
+
+using min::BenesNetwork;
+using min::Kind;
+using min::u32;
+
+void emit_tables() {
+  bench::print_header(
+      "E13", "extension experiment (blocking banyan vs rearrangeable Benes)",
+      "What does conflict-freedom for arbitrary unicast permutations cost, "
+      "and how often does a plain banyan get lucky?");
+
+  {
+    util::Table t(
+        "random permutations admissible without conflicts (500 draws)",
+        {"N", "omega admissible", "mean peak link load (omega)",
+         "Benes admissible", "crosspoint ratio benes/banyan"});
+    util::Rng rng(20020818);
+    for (u32 n : {3u, 4u, 5u, 6u}) {
+      const min::Network omega = min::make_network(Kind::kOmega, n);
+      const BenesNetwork benes(n);
+      std::vector<u32> perm(omega.size());
+      std::iota(perm.begin(), perm.end(), 0u);
+      u32 omega_ok = 0;
+      util::RunningStats peaks;
+      u32 benes_ok = 0;
+      constexpr int kTrials = 500;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        rng.shuffle(std::span<u32>(perm));
+        const auto load = min::permutation_load(omega, perm);
+        omega_ok += load.peak <= 1;
+        peaks.add(load.peak);
+        benes_ok += benes.apply(benes.route_permutation(perm)) == perm;
+      }
+      const double banyan_xp =
+          static_cast<double>(n) * (omega.size() / 2) * 4;
+      t.row()
+          .cell(u32{1} << n)
+          .cell(static_cast<double>(omega_ok) / kTrials, 4)
+          .cell(peaks.mean(), 3)
+          .cell(static_cast<double>(benes_ok) / kTrials, 4)
+          .cell(static_cast<double>(benes.crosspoints()) / banyan_xp, 3);
+    }
+    bench::show(t);
+  }
+
+  std::cout << "Shape: a lone banyan admits essentially no random "
+               "permutation beyond toy sizes\nwhile the Benes admits all "
+               "of them for ~2x crosspoints — the same pattern the\n"
+               "conference results show one level up: conflict-freedom is "
+               "bought structurally,\nnot by luck.\n";
+}
+
+void BM_BenesLooping(benchmark::State& state) {
+  const u32 n = static_cast<u32>(state.range(0));
+  const BenesNetwork net(n);
+  util::Rng rng(5);
+  std::vector<u32> perm(net.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  rng.shuffle(std::span<u32>(perm));
+  for (auto _ : state) {
+    const auto settings = net.route_permutation(perm);
+    benchmark::DoNotOptimize(settings.size());
+  }
+}
+BENCHMARK(BM_BenesLooping)->DenseRange(4, 12, 4);
+
+}  // namespace
+}  // namespace confnet
+
+CONFNET_BENCH_MAIN(confnet::emit_tables)

@@ -1,0 +1,85 @@
+// E4 (Figure 4): observed peak link multiplicity vs number of simultaneous
+// conferences, per topology and placement policy — the empirical view of
+// R1/R2/R3: random placement climbs toward min(g, sqrt N); buddy placement
+// pins the orthogonal-window topologies at 1.
+#include "bench_common.hpp"
+#include "conference/multiplicity.hpp"
+#include "util/chart.hpp"
+
+namespace confnet {
+namespace {
+
+using conf::u32;
+using min::Kind;
+
+void emit_series(conf::PlacementPolicy policy, u32 n, u32 trials) {
+  util::Table t("peak multiplicity vs #conferences — placement = " +
+                    std::string(conf::placement_name(policy)) + ", N = " +
+                    std::to_string(1u << n) + ", sizes 2..8, " +
+                    std::to_string(trials) + " trials",
+                {"#conferences g", "network", "mean peak", "p-max peak",
+                 "bound min(g, 2^(n/2))"});
+  for (u32 g : {2u, 4u, 8u, 16u, 32u}) {
+    if (g * 2 > (u32{1} << n)) continue;
+    for (Kind kind : min::kAllKinds) {
+      const auto mc = conf::monte_carlo_multiplicity(kind, n, g, 2, 8,
+                                                     policy, trials, 7777);
+      t.row()
+          .cell(g)
+          .cell(std::string(min::kind_name(kind)))
+          .cell(mc.peak.mean(), 3)
+          .cell(mc.max_peak)
+          .cell(std::min(g, conf::theoretical_peak(n)));
+    }
+  }
+  bench::show(t);
+}
+
+void emit_tables() {
+  bench::print_header(
+      "E4", "Figure 4 (peak link multiplicity vs offered conferences)",
+      "How fast do conflicts accumulate as more disjoint conferences are "
+      "present, per placement policy?");
+  const u32 n = 8;
+  emit_series(conf::PlacementPolicy::kRandom, n, 200);
+  emit_series(conf::PlacementPolicy::kFirstFit, n, 200);
+  emit_series(conf::PlacementPolicy::kBuddy, n, 200);
+
+  // Figure rendering: mean peak vs g for the cube, random vs buddy.
+  std::vector<std::pair<std::string, double>> series;
+  for (u32 g : {2u, 4u, 8u, 16u, 32u}) {
+    const auto random = conf::monte_carlo_multiplicity(
+        Kind::kIndirectCube, n, g, 2, 8, conf::PlacementPolicy::kRandom, 200,
+        7777);
+    const auto buddy = conf::monte_carlo_multiplicity(
+        Kind::kIndirectCube, n, g, 2, 8, conf::PlacementPolicy::kBuddy, 200,
+        7777);
+    series.emplace_back("g=" + std::to_string(g) + " random",
+                        random.peak.mean());
+    series.emplace_back("g=" + std::to_string(g) + " buddy ",
+                        buddy.peak.mean());
+  }
+  std::cout << "Figure 4 (cube, N=256): mean peak link multiplicity\n"
+            << util::bar_chart(series) << '\n';
+  std::cout << "Shape: random/first-fit placement climbs with g toward the "
+               "sqrt(N) ceiling for\nevery topology; buddy placement stays "
+               "at 1 for omega/cube/butterfly and grows\nonly for "
+               "baseline/flip — the class splits exactly as R2 predicts.\n";
+}
+
+void BM_MonteCarloTrial(benchmark::State& state) {
+  const u32 n = static_cast<u32>(state.range(0));
+  u32 seed = 1;
+  for (auto _ : state) {
+    const auto mc = conf::monte_carlo_multiplicity(
+        Kind::kOmega, n, (u32{1} << n) / 8, 2, 8,
+        conf::PlacementPolicy::kRandom, 1, seed++);
+    benchmark::DoNotOptimize(mc.max_peak);
+  }
+}
+BENCHMARK(BM_MonteCarloTrial)->DenseRange(6, 10, 2);
+
+}  // namespace
+}  // namespace confnet
+
+CONFNET_BENCH_MAIN(confnet::emit_tables)

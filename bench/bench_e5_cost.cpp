@@ -1,0 +1,94 @@
+// E5 (Table 4): hardware cost comparison — "less hardware cost?".
+//
+// Compares, across N: direct adoption at unit dilation (works with system
+// placement on the orthogonal-window topologies), the enhanced cube design
+// (Yang 2001: muxes relay internal outputs), bounded dilation (nonblocking
+// for up to g conferences anywhere), full dilation (nonblocking for
+// arbitrary placement) and the crossbar strawman.
+#include "bench_common.hpp"
+#include "cost/cost.hpp"
+
+namespace confnet {
+namespace {
+
+using cost::CostBreakdown;
+using cost::u32;
+using cost::u64;
+
+void add_row(util::Table& t, u32 n, const std::string& design,
+             const CostBreakdown& c) {
+  t.row()
+      .cell(u64{1} << n)
+      .cell(design)
+      .cell(c.switch_modules)
+      .cell(c.crosspoints)
+      .cell(c.combiner_gates)
+      .cell(c.link_channels)
+      .cell(c.mux_gates)
+      .cell(c.total_gates());
+}
+
+void emit_tables() {
+  bench::print_header(
+      "E5", "Table 4 (hardware cost of the compared conference networks)",
+      "What does each way of supporting multiple disjoint conferences cost "
+      "in crosspoints, combiners, link channels and mux gates?");
+
+  util::Table t("hardware cost vs N",
+                {"N", "design", "switches", "crosspoints", "combiners",
+                 "link channels", "mux gates", "total gates"});
+  for (u32 n : {4u, 6u, 8u, 10u, 12u}) {
+    add_row(t, n, "direct d=1 (placed)",
+            cost::direct_cost(n, conf::DilationProfile::uniform(n, 1)));
+    add_row(t, n, "enhanced cube (mux relay)", cost::enhanced_cube_cost(n));
+    add_row(t, n, "direct bounded g=4",
+            cost::direct_cost(n, conf::DilationProfile::bounded(n, 4)));
+    add_row(t, n, "direct full dilation",
+            cost::direct_cost(n, conf::DilationProfile::full(n)));
+    add_row(t, n, "NxN crossbar", cost::crossbar_cost(n));
+  }
+  bench::show(t);
+
+  util::Table ratio(
+      "total-gate ratio relative to direct d=1 (growth shapes)",
+      {"N", "enhanced/d1", "bounded g=4/d1", "full/d1", "crossbar/d1"});
+  for (u32 n : {4u, 6u, 8u, 10u, 12u}) {
+    const double d1 = static_cast<double>(
+        cost::direct_cost(n, conf::DilationProfile::uniform(n, 1))
+            .total_gates());
+    ratio.row()
+        .cell(u64{1} << n)
+        .cell(cost::enhanced_cube_cost(n).total_gates() / d1, 3)
+        .cell(cost::direct_cost(n, conf::DilationProfile::bounded(n, 4))
+                      .total_gates() /
+                  d1,
+              3)
+        .cell(cost::direct_cost(n, conf::DilationProfile::full(n))
+                      .total_gates() /
+                  d1,
+              3)
+        .cell(cost::crossbar_cost(n).total_gates() / d1, 3);
+  }
+  bench::show(ratio);
+
+  std::cout
+      << "Shape: direct adoption at unit dilation is the cheapest design "
+         "(O(N log N) gates,\nno muxes) — cheaper than the enhanced cube, "
+         "which pays N*n extra mux gates for\nits early-exit relay. Full "
+         "dilation (arbitrary placement) degenerates to\ncrossbar-order "
+         "cost: placement policy, not fabric, buys the savings.\n";
+}
+
+void BM_CostEvaluation(benchmark::State& state) {
+  const u32 n = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    const auto c = cost::direct_cost(n, conf::DilationProfile::full(n));
+    benchmark::DoNotOptimize(c.total_gates());
+  }
+}
+BENCHMARK(BM_CostEvaluation)->DenseRange(4, 16, 4);
+
+}  // namespace
+}  // namespace confnet
+
+CONFNET_BENCH_MAIN(confnet::emit_tables)

@@ -1,0 +1,108 @@
+// Audio bridge: shows that the fabric's fan-in/fan-out realization carries
+// real mixing semantics. Each member produces an audio sample per frame
+// (silence during pauses); the switch network combines (sums) samples of a
+// conference along the fan-in tree and fans the mix out, so each member's
+// output equals the sum of its conference's active speakers.
+//
+//   ./audio_bridge --n 4 --frames 8
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "conference/designs.hpp"
+#include "conference/subnetwork.hpp"
+#include "switchmod/fabric.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace confnet;
+
+int main(int argc, char** argv) {
+  util::Cli cli("audio_bridge", "sample-level conference mixing demo");
+  cli.add_int("n", 4, "log2 of the port count");
+  cli.add_int("frames", 8, "audio frames to simulate");
+  cli.add_int("seed", 7, "RNG seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  try {
+    const auto n = static_cast<min::u32>(cli.get_int("n"));
+    const int frames = static_cast<int>(cli.get_int("frames"));
+    util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+    const min::Network net = min::make_network(min::Kind::kIndirectCube, n);
+    const sw::Fabric fabric(net, sw::FabricConfig{1, true, true});
+
+    // Two conferences on aligned blocks (enhanced-cube style realization).
+    const std::vector<std::vector<min::u32>> groups{{0, 1, 2}, {4, 5, 6, 7}};
+    std::vector<sw::GroupRealization> realizations;
+    for (min::u32 id = 0; id < groups.size(); ++id) {
+      const auto real = conf::enhanced_cube_realization(n, groups[id]);
+      sw::GroupRealization g;
+      g.id = id;
+      g.members = groups[id];
+      g.links = real.links;
+      for (min::u32 m : groups[id])
+        g.taps.push_back(sw::GroupRealization::Tap{m, real.tap_level});
+      realizations.push_back(std::move(g));
+    }
+    const sw::EvalReport report = fabric.evaluate(realizations);
+    if (!report.ok()) {
+      std::cerr << "fabric conflict — should be impossible on aligned blocks\n";
+      return 1;
+    }
+
+    std::cout << "conference A = {0,1,2}, conference B = {4,5,6,7}; mixing = "
+                 "sample addition along the fan-in tree\n\n";
+    std::cout << "frame | active speakers        | member 1 hears | member 5 "
+                 "hears | verified\n";
+    bool all_ok = true;
+    for (int f = 0; f < frames; ++f) {
+      // Talk spurts: each member speaks this frame with probability 0.5;
+      // a speaking member emits a nonzero sample.
+      std::vector<int> sample(net.size(), 0);
+      std::string speakers;
+      for (const auto& g : groups)
+        for (min::u32 m : g) {
+          if (rng.chance(0.5)) {
+            sample[m] = 100 + static_cast<int>(m);
+            speakers += std::to_string(m) + " ";
+          }
+        }
+      // The delivered mix at output o = sum of samples of the members the
+      // fabric delivers there (delivered sets computed by the switch
+      // network, not assumed).
+      bool frame_ok = true;
+      const auto mix_at = [&](min::u32 gi, min::u32 member) {
+        const auto& members = realizations[gi].members;
+        const auto it =
+            std::find(members.begin(), members.end(), member);
+        const auto mi = static_cast<std::size_t>(it - members.begin());
+        int mix = 0;
+        for (min::u32 src : report.delivered[gi][mi].values())
+          mix += sample[src];
+        // Ground truth: sum over the conference.
+        int want = 0;
+        for (min::u32 src : members) want += sample[src];
+        frame_ok = frame_ok && (mix == want);
+        return mix;
+      };
+      const int hears1 = mix_at(0, 1);
+      const int hears5 = mix_at(1, 5);
+      all_ok = all_ok && frame_ok;
+      std::cout << std::setw(5) << f << " | " << std::setw(22) << std::left
+                << (speakers.empty() ? "(silence)" : speakers) << std::right
+                << " | " << std::setw(14) << hears1 << " | " << std::setw(14)
+                << hears5 << " | " << (frame_ok ? "ok" : "MISMATCH") << "\n";
+    }
+    std::cout << "\nmixing semantics " << (all_ok ? "verified" : "BROKEN")
+              << ": every member receives exactly the sum of its "
+                 "conference's speakers.\n"
+              << "fabric work for this setup: " << report.fan_in_ops
+              << " fan-in (mix) operations, " << report.fan_out_ops
+              << " fan-out (broadcast) operations.\n";
+    return all_ok ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,52 @@
+#include "conference/conference.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace confnet::conf {
+
+Conference::Conference(u32 id, std::vector<u32> members)
+    : id_(id), members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+  expects(members_.size() >= 2, "a conference needs at least two members");
+}
+
+bool Conference::contains(u32 port) const noexcept {
+  return std::binary_search(members_.begin(), members_.end(), port);
+}
+
+Conference::Span Conference::aligned_span(u32 n) const {
+  expects(members_.back() < (u32{1} << n), "member beyond network size");
+  u32 diff = 0;
+  for (u32 m : members_) diff |= m ^ members_.front();
+  const u32 bits = diff == 0 ? 0 : util::highest_bit(diff) + 1;
+  const u32 base = (members_.front() >> bits) << bits;
+  return Span{base, bits};
+}
+
+ConferenceSet::ConferenceSet(u32 num_ports)
+    : num_ports_(num_ports), owner_(num_ports, -1) {
+  expects(num_ports >= 2, "ConferenceSet needs at least two ports");
+}
+
+void ConferenceSet::add(Conference conference) {
+  for (u32 m : conference.members()) {
+    expects(m < num_ports_, "conference member out of range");
+    expects(owner_[m] < 0, "conferences must be pairwise disjoint");
+  }
+  for (u32 m : conference.members())
+    owner_[m] = static_cast<std::int64_t>(conference.id());
+  occupied_ += static_cast<u32>(conference.size());
+  conferences_.push_back(std::move(conference));
+}
+
+std::int64_t ConferenceSet::owner_of(u32 port) const {
+  expects(port < num_ports_, "port out of range");
+  return owner_[port];
+}
+
+}  // namespace confnet::conf

@@ -1,0 +1,72 @@
+// Conference and disjoint-conference-set abstractions (the paper's unit of
+// work: "a group of members in a network who communicate with each other
+// within the group", with multiple pairwise disjoint conferences present
+// simultaneously).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "min/types.hpp"
+
+namespace confnet::conf {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// A conference: a set of at least two member ports. Members are stored
+/// sorted and duplicate-free.
+class Conference {
+ public:
+  Conference(u32 id, std::vector<u32> members);
+
+  [[nodiscard]] u32 id() const noexcept { return id_; }
+  [[nodiscard]] const std::vector<u32>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool contains(u32 port) const noexcept;
+
+  /// Smallest enclosing aligned block: returns (base, bits) with
+  /// members ⊆ [base, base + 2^bits). bits == 0 is impossible (size >= 2).
+  struct Span {
+    u32 base;
+    u32 bits;
+  };
+  [[nodiscard]] Span aligned_span(u32 n) const;
+
+ private:
+  u32 id_;
+  std::vector<u32> members_;
+};
+
+/// A set of pairwise disjoint conferences over N ports. Enforces the
+/// disjointness invariant at insertion.
+class ConferenceSet {
+ public:
+  explicit ConferenceSet(u32 num_ports);
+
+  [[nodiscard]] u32 num_ports() const noexcept { return num_ports_; }
+  [[nodiscard]] std::size_t size() const noexcept { return conferences_.size(); }
+  [[nodiscard]] const std::vector<Conference>& conferences() const noexcept {
+    return conferences_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return conferences_.empty(); }
+
+  /// Add a conference; throws if any member is already taken or invalid.
+  void add(Conference conference);
+
+  /// Conference id occupying `port`, or -1 when the port is idle.
+  [[nodiscard]] std::int64_t owner_of(u32 port) const;
+
+  /// Number of occupied ports.
+  [[nodiscard]] u32 occupied_ports() const noexcept { return occupied_; }
+
+ private:
+  u32 num_ports_;
+  u32 occupied_ = 0;
+  std::vector<Conference> conferences_;
+  std::vector<std::int64_t> owner_;  // -1 = idle
+};
+
+}  // namespace confnet::conf

@@ -1,0 +1,368 @@
+#include "conference/designs.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace confnet::conf {
+
+DilationProfile::DilationProfile(u32 n, std::vector<u32> channels,
+                                 std::string label)
+    : n_(n), channels_(std::move(channels)), label_(std::move(label)) {
+  expects(channels_.size() == n + 1, "dilation profile needs n+1 levels");
+  channels_.front() = 1;  // external ports are exclusive by disjointness
+  channels_.back() = 1;
+}
+
+DilationProfile DilationProfile::uniform(u32 n, u32 d) {
+  expects(d >= 1, "dilation must be at least 1");
+  return DilationProfile(n, std::vector<u32>(n + 1, d),
+                         "d=" + std::to_string(d));
+}
+
+DilationProfile DilationProfile::full(u32 n) {
+  std::vector<u32> ch(n + 1);
+  for (u32 l = 0; l <= n; ++l)
+    ch[l] = std::min(u32{1} << l, u32{1} << (n - l));
+  return DilationProfile(n, std::move(ch), "full");
+}
+
+DilationProfile DilationProfile::bounded(u32 n, u32 g) {
+  expects(g >= 1, "bounded dilation needs g >= 1");
+  std::vector<u32> ch(n + 1);
+  for (u32 l = 0; l <= n; ++l)
+    ch[l] = std::min({u32{1} << l, u32{1} << (n - l), g});
+  return DilationProfile(n, std::move(ch), "g=" + std::to_string(g));
+}
+
+u32 DilationProfile::channels(u32 level) const {
+  expects(level < channels_.size(), "dilation level out of range");
+  return channels_[level];
+}
+
+u64 DilationProfile::total_channels() const {
+  u64 total = 0;
+  const u64 N = u64{1} << n_;
+  for (u32 l = 1; l < n_; ++l) total += N * channels_[l];
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// DirectConferenceNetwork
+// ---------------------------------------------------------------------------
+
+DirectConferenceNetwork::DirectConferenceNetwork(min::Kind kind, u32 n,
+                                                 DilationProfile dilation)
+    : net_(min::make_network(kind, n)),
+      dilation_(std::move(dilation)),
+      load_(n + 1, std::vector<u32>(u32{1} << n, 0)),
+      port_busy_(u32{1} << n, false) {
+  expects(dilation_.n() == n, "dilation profile size mismatch");
+}
+
+std::string DirectConferenceNetwork::name() const {
+  return "direct-" + std::string(min::kind_name(net_.kind())) + "(" +
+         dilation_.label() + ")";
+}
+
+std::optional<u32> DirectConferenceNetwork::setup(
+    const std::vector<u32>& members) {
+  expects(members.size() >= 2, "conferences need at least two members");
+  for (u32 m : members) {
+    expects(m < size(), "member out of range");
+    if (port_busy_[m]) {
+      last_error_ = SetupError::kPortBusy;
+      return std::nullopt;
+    }
+  }
+  std::vector<u32> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  LevelLinks links = all_pairs_links(net_.kind(), n(), sorted);
+  for (u32 level = 0; level <= n(); ++level) {
+    const u32 cap = dilation_.channels(level);
+    for (u32 row : links[level]) {
+      if (load_[level][row] + 1 > cap) {
+        last_error_ = SetupError::kLinkCapacity;
+        return std::nullopt;
+      }
+    }
+  }
+  for (u32 level = 0; level <= n(); ++level)
+    for (u32 row : links[level]) ++load_[level][row];
+  for (u32 m : sorted) port_busy_[m] = true;
+  const u32 handle = next_handle_++;
+  active_.emplace(handle, Active{std::move(sorted), std::move(links)});
+  return handle;
+}
+
+void DirectConferenceNetwork::teardown(u32 handle) {
+  const auto it = active_.find(handle);
+  expects(it != active_.end(), "teardown of unknown conference handle");
+  for (u32 level = 0; level <= n(); ++level)
+    for (u32 row : it->second.links[level]) {
+      expects(load_[level][row] > 0, "link load underflow");
+      --load_[level][row];
+    }
+  for (u32 m : it->second.members) port_busy_[m] = false;
+  active_.erase(it);
+}
+
+bool DirectConferenceNetwork::verify_delivery() const {
+  std::vector<sw::GroupRealization> groups;
+  groups.reserve(active_.size());
+  for (const auto& [handle, a] : active_) {
+    sw::GroupRealization g;
+    g.id = handle;
+    g.members = a.members;
+    g.links = a.links;
+    groups.push_back(std::move(g));
+  }
+  // Capacity was enforced at setup; give the functional check unlimited
+  // channels so it reports pure delivery correctness.
+  const sw::Fabric fabric(net_, sw::FabricConfig{size(), true, true});
+  const sw::EvalReport report = fabric.evaluate(groups);
+  if (!report.ok()) return false;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    for (std::size_t mi = 0; mi < groups[gi].members.size(); ++mi) {
+      if (report.delivered[gi][mi].values() != groups[gi].members)
+        return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+/// Invoke fn(level, row) for every link present in `a` but not in `b`.
+template <typename Fn>
+void for_each_delta(const LevelLinks& a, const LevelLinks& b, Fn&& fn) {
+  for (u32 level = 0; level < a.size(); ++level)
+    for (u32 row : a[level])
+      if (!std::binary_search(b[level].begin(), b[level].end(), row))
+        fn(level, row);
+}
+
+std::vector<u32> with_member(const std::vector<u32>& members, u32 port) {
+  std::vector<u32> grown = members;
+  grown.insert(std::lower_bound(grown.begin(), grown.end(), port), port);
+  return grown;
+}
+
+std::vector<u32> without_member(const std::vector<u32>& members, u32 port) {
+  std::vector<u32> shrunk = members;
+  shrunk.erase(std::lower_bound(shrunk.begin(), shrunk.end(), port));
+  return shrunk;
+}
+}  // namespace
+
+bool DirectConferenceNetwork::add_member(u32 handle, u32 port) {
+  const auto it = active_.find(handle);
+  expects(it != active_.end(), "add_member on unknown handle");
+  expects(port < size(), "member out of range");
+  if (port_busy_[port]) {
+    last_error_ = SetupError::kPortBusy;
+    return false;
+  }
+  std::vector<u32> grown = with_member(it->second.members, port);
+  LevelLinks new_links = all_pairs_links(net_.kind(), n(), grown);
+  bool feasible = true;
+  for_each_delta(new_links, it->second.links, [&](u32 level, u32 row) {
+    if (load_[level][row] + 1 > dilation_.channels(level)) feasible = false;
+  });
+  if (!feasible) {
+    last_error_ = SetupError::kLinkCapacity;
+    return false;
+  }
+  for_each_delta(new_links, it->second.links,
+                 [&](u32 level, u32 row) { ++load_[level][row]; });
+  it->second.members = std::move(grown);
+  it->second.links = std::move(new_links);
+  port_busy_[port] = true;
+  return true;
+}
+
+bool DirectConferenceNetwork::remove_member(u32 handle, u32 port) {
+  const auto it = active_.find(handle);
+  expects(it != active_.end(), "remove_member on unknown handle");
+  if (!std::binary_search(it->second.members.begin(),
+                          it->second.members.end(), port))
+    return false;
+  if (it->second.members.size() <= 2) return false;  // close instead
+  std::vector<u32> shrunk = without_member(it->second.members, port);
+  LevelLinks new_links = all_pairs_links(net_.kind(), n(), shrunk);
+  for_each_delta(it->second.links, new_links, [&](u32 level, u32 row) {
+    expects(load_[level][row] > 0, "link load underflow");
+    --load_[level][row];
+  });
+  it->second.members = std::move(shrunk);
+  it->second.links = std::move(new_links);
+  port_busy_[port] = false;
+  return true;
+}
+
+const std::vector<u32>& DirectConferenceNetwork::members_for(
+    u32 handle) const {
+  const auto it = active_.find(handle);
+  expects(it != active_.end(), "unknown conference handle");
+  return it->second.members;
+}
+
+u32 DirectConferenceNetwork::current_level_load(u32 level) const {
+  expects(level <= n(), "level out of range");
+  u32 peak = 0;
+  for (u32 v : load_[level]) peak = std::max(peak, v);
+  return peak;
+}
+
+// ---------------------------------------------------------------------------
+// EnhancedCubeNetwork
+// ---------------------------------------------------------------------------
+
+EnhancedCubeNetwork::EnhancedCubeNetwork(u32 n)
+    : net_(min::make_network(min::Kind::kIndirectCube, n)),
+      load_(n + 1, std::vector<u32>(u32{1} << n, 0)),
+      port_busy_(u32{1} << n, false) {}
+
+std::string EnhancedCubeNetwork::name() const { return "enhanced-cube"; }
+
+std::optional<u32> EnhancedCubeNetwork::setup(
+    const std::vector<u32>& members) {
+  expects(members.size() >= 2, "conferences need at least two members");
+  for (u32 m : members) {
+    expects(m < size(), "member out of range");
+    if (port_busy_[m]) {
+      last_error_ = SetupError::kPortBusy;
+      return std::nullopt;
+    }
+  }
+  std::vector<u32> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  EnhancedRealization real = enhanced_cube_realization(n(), sorted);
+  // The enhanced design keeps single-channel links; a conflict means the
+  // placement was not aligned (or the fabric is genuinely oversubscribed).
+  for (u32 level = 0; level <= n(); ++level) {
+    for (u32 row : real.links[level]) {
+      if (load_[level][row] + 1 > 1) {
+        last_error_ = SetupError::kLinkCapacity;
+        return std::nullopt;
+      }
+    }
+  }
+  for (u32 level = 0; level <= n(); ++level)
+    for (u32 row : real.links[level]) ++load_[level][row];
+  for (u32 m : sorted) port_busy_[m] = true;
+  const u32 handle = next_handle_++;
+  active_.emplace(handle, Active{std::move(sorted), std::move(real)});
+  return handle;
+}
+
+void EnhancedCubeNetwork::teardown(u32 handle) {
+  const auto it = active_.find(handle);
+  expects(it != active_.end(), "teardown of unknown conference handle");
+  for (u32 level = 0; level <= n(); ++level)
+    for (u32 row : it->second.realization.links[level]) {
+      expects(load_[level][row] > 0, "link load underflow");
+      --load_[level][row];
+    }
+  for (u32 m : it->second.members) port_busy_[m] = false;
+  active_.erase(it);
+}
+
+bool EnhancedCubeNetwork::verify_delivery() const {
+  std::vector<sw::GroupRealization> groups;
+  groups.reserve(active_.size());
+  for (const auto& [handle, a] : active_) {
+    sw::GroupRealization g;
+    g.id = handle;
+    g.members = a.members;
+    g.links = a.realization.links;
+    for (u32 m : a.members)
+      g.taps.push_back(
+          sw::GroupRealization::Tap{m, a.realization.tap_level});
+    groups.push_back(std::move(g));
+  }
+  const sw::Fabric fabric(net_, sw::FabricConfig{1, true, true});
+  const sw::EvalReport report = fabric.evaluate(groups);
+  if (!report.ok()) return false;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi)
+    for (std::size_t mi = 0; mi < groups[gi].members.size(); ++mi)
+      if (report.delivered[gi][mi].values() != groups[gi].members)
+        return false;
+  return true;
+}
+
+bool EnhancedCubeNetwork::add_member(u32 handle, u32 port) {
+  const auto it = active_.find(handle);
+  expects(it != active_.end(), "add_member on unknown handle");
+  expects(port < size(), "member out of range");
+  if (port_busy_[port]) {
+    last_error_ = SetupError::kPortBusy;
+    return false;
+  }
+  std::vector<u32> grown = with_member(it->second.members, port);
+  EnhancedRealization real = enhanced_cube_realization(n(), grown);
+  bool feasible = true;
+  for_each_delta(real.links, it->second.realization.links,
+                 [&](u32 level, u32 row) {
+                   if (load_[level][row] + 1 > 1) feasible = false;
+                 });
+  if (!feasible) {
+    last_error_ = SetupError::kLinkCapacity;
+    return false;
+  }
+  for_each_delta(real.links, it->second.realization.links,
+                 [&](u32 level, u32 row) { ++load_[level][row]; });
+  // A grown conference may also RELEASE links: joining a member outside the
+  // old span raises the tap level, but within a span it only adds links.
+  for_each_delta(it->second.realization.links, real.links,
+                 [&](u32 level, u32 row) {
+                   expects(load_[level][row] > 0, "link load underflow");
+                   --load_[level][row];
+                 });
+  it->second.members = std::move(grown);
+  it->second.realization = std::move(real);
+  port_busy_[port] = true;
+  return true;
+}
+
+bool EnhancedCubeNetwork::remove_member(u32 handle, u32 port) {
+  const auto it = active_.find(handle);
+  expects(it != active_.end(), "remove_member on unknown handle");
+  if (!std::binary_search(it->second.members.begin(),
+                          it->second.members.end(), port))
+    return false;
+  if (it->second.members.size() <= 2) return false;  // close instead
+  std::vector<u32> shrunk = without_member(it->second.members, port);
+  EnhancedRealization real = enhanced_cube_realization(n(), shrunk);
+  // Shrinking never adds links under a fixed tap level, but a dropped
+  // member can LOWER the tap level and change the shape; handle both
+  // directions symmetrically (the new links are a subset of the old ones
+  // whenever tap level is unchanged, so no capacity check is needed:
+  // new-only links can only appear when the tap level drops, freeing more
+  // than it takes within the conference's own rows).
+  for_each_delta(real.links, it->second.realization.links,
+                 [&](u32 level, u32 row) { ++load_[level][row]; });
+  for_each_delta(it->second.realization.links, real.links,
+                 [&](u32 level, u32 row) {
+                   expects(load_[level][row] > 0, "link load underflow");
+                   --load_[level][row];
+                 });
+  it->second.members = std::move(shrunk);
+  it->second.realization = std::move(real);
+  port_busy_[port] = false;
+  return true;
+}
+
+const std::vector<u32>& EnhancedCubeNetwork::members_for(u32 handle) const {
+  const auto it = active_.find(handle);
+  expects(it != active_.end(), "unknown conference handle");
+  return it->second.members;
+}
+
+u32 EnhancedCubeNetwork::tap_level(u32 handle) const {
+  const auto it = active_.find(handle);
+  expects(it != active_.end(), "unknown conference handle");
+  return it->second.realization.tap_level;
+}
+
+}  // namespace confnet::conf

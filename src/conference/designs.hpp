@@ -1,0 +1,187 @@
+// The two conference-network designs under comparison.
+//
+// DirectConferenceNetwork — "directly adopt a baseline, an omega, or an
+// indirect binary cube network": conferences are realized as ALL_PAIRS
+// subnetworks; interstage links carry a configurable number of channels
+// (dilation). With dilation d(l) = min(2^l, 2^(n-l)) the design is
+// conflict-free for arbitrary disjoint conferences (R1); with d = 1 it
+// relies on placement (R2: conflict-free for omega/cube/butterfly under
+// buddy placement).
+//
+// EnhancedCubeNetwork — the Yang (2001) design the abstract describes: an
+// indirect binary cube whose internal stage outputs are relayed through
+// per-output (n+1)-to-1 multiplexers; a conference placed on an aligned
+// block of 2^j ports completes combining at level j inside its own rows
+// and taps there, leaving no shared interstage links.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "conference/conference.hpp"
+#include "conference/subnetwork.hpp"
+#include "min/network.hpp"
+#include "switchmod/fabric.hpp"
+
+namespace confnet::conf {
+
+/// Why a setup attempt was refused.
+enum class SetupError : std::uint8_t {
+  kPortBusy,       // a requested member port is already in a conference
+  kLinkCapacity,   // an interstage link would exceed its channel count
+};
+
+/// Per-level interstage channel capacities.
+class DilationProfile {
+ public:
+  /// d channels on every interstage level.
+  [[nodiscard]] static DilationProfile uniform(u32 n, u32 d);
+  /// min(2^l, 2^(n-l)) channels — nonblocking for arbitrary placement.
+  [[nodiscard]] static DilationProfile full(u32 n);
+  /// min(2^l, 2^(n-l), g) channels — nonblocking for at most g conferences.
+  [[nodiscard]] static DilationProfile bounded(u32 n, u32 g);
+
+  [[nodiscard]] u32 channels(u32 level) const;
+  [[nodiscard]] u32 n() const noexcept { return n_; }
+  /// Total interstage channel count (hardware figure for E5).
+  [[nodiscard]] u64 total_channels() const;
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
+ private:
+  DilationProfile(u32 n, std::vector<u32> channels, std::string label);
+  u32 n_;
+  std::vector<u32> channels_;  // levels 0..n; 0 and n forced to 1
+  std::string label_;
+};
+
+/// Common interface used by the session manager and the simulator.
+class ConferenceNetworkBase {
+ public:
+  virtual ~ConferenceNetworkBase() = default;
+
+  [[nodiscard]] virtual u32 n() const noexcept = 0;
+  [[nodiscard]] u32 size() const noexcept { return u32{1} << n(); }
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Attempt to set up a conference on the given member ports. Returns a
+  /// handle on success.
+  [[nodiscard]] virtual std::optional<u32> setup(
+      const std::vector<u32>& members) = 0;
+  [[nodiscard]] virtual SetupError last_error() const noexcept = 0;
+
+  virtual void teardown(u32 handle) = 0;
+
+  [[nodiscard]] virtual u32 active_count() const noexcept = 0;
+
+  /// Evaluate the fabric functionally: every active conference's members
+  /// must receive exactly the conference's member set.
+  [[nodiscard]] virtual bool verify_delivery() const = 0;
+
+  /// Stages a signal of this conference traverses before delivery (latency
+  /// proxy). Direct designs always cross all n stages; the enhanced design
+  /// exits at its mux tap level.
+  [[nodiscard]] virtual u32 stages_for(u32 handle) const {
+    (void)handle;
+    return n();
+  }
+
+  /// Dynamic join: grow an active conference by one member. Returns false
+  /// (and leaves the conference untouched) when the port is busy or the
+  /// grown subnetwork would exceed link capacity.
+  [[nodiscard]] virtual bool add_member(u32 handle, u32 port) = 0;
+
+  /// Dynamic leave: shrink an active conference by one member. Refuses
+  /// (returns false) when the member is not in the conference or the
+  /// conference would drop below two members (close it instead).
+  [[nodiscard]] virtual bool remove_member(u32 handle, u32 port) = 0;
+
+  /// Members of an active conference.
+  [[nodiscard]] virtual const std::vector<u32>& members_for(
+      u32 handle) const = 0;
+};
+
+class DirectConferenceNetwork final : public ConferenceNetworkBase {
+ public:
+  DirectConferenceNetwork(min::Kind kind, u32 n, DilationProfile dilation);
+
+  [[nodiscard]] u32 n() const noexcept override { return net_.n(); }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<u32> setup(
+      const std::vector<u32>& members) override;
+  [[nodiscard]] SetupError last_error() const noexcept override {
+    return last_error_;
+  }
+  void teardown(u32 handle) override;
+  [[nodiscard]] u32 active_count() const noexcept override {
+    return static_cast<u32>(active_.size());
+  }
+  [[nodiscard]] bool verify_delivery() const override;
+  [[nodiscard]] bool add_member(u32 handle, u32 port) override;
+  [[nodiscard]] bool remove_member(u32 handle, u32 port) override;
+  [[nodiscard]] const std::vector<u32>& members_for(u32 handle) const override;
+
+  [[nodiscard]] const DilationProfile& dilation() const noexcept {
+    return dilation_;
+  }
+  [[nodiscard]] min::Kind kind() const noexcept { return net_.kind(); }
+  /// Highest channel load currently on any link of the level.
+  [[nodiscard]] u32 current_level_load(u32 level) const;
+
+ private:
+  struct Active {
+    std::vector<u32> members;
+    LevelLinks links;
+  };
+  min::Network net_;
+  DilationProfile dilation_;
+  std::vector<std::vector<u32>> load_;  // [level][row]
+  std::map<u32, Active> active_;
+  std::vector<bool> port_busy_;
+  u32 next_handle_ = 0;
+  SetupError last_error_ = SetupError::kPortBusy;
+};
+
+class EnhancedCubeNetwork final : public ConferenceNetworkBase {
+ public:
+  explicit EnhancedCubeNetwork(u32 n);
+
+  [[nodiscard]] u32 n() const noexcept override { return net_.n(); }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<u32> setup(
+      const std::vector<u32>& members) override;
+  [[nodiscard]] SetupError last_error() const noexcept override {
+    return last_error_;
+  }
+  void teardown(u32 handle) override;
+  [[nodiscard]] u32 active_count() const noexcept override {
+    return static_cast<u32>(active_.size());
+  }
+  [[nodiscard]] bool verify_delivery() const override;
+  [[nodiscard]] bool add_member(u32 handle, u32 port) override;
+  [[nodiscard]] bool remove_member(u32 handle, u32 port) override;
+  [[nodiscard]] const std::vector<u32>& members_for(u32 handle) const override;
+
+  /// Mux tap level of an active conference (latency figure: a conference
+  /// traverses tap_level stages instead of n).
+  [[nodiscard]] u32 tap_level(u32 handle) const;
+
+  [[nodiscard]] u32 stages_for(u32 handle) const override {
+    return tap_level(handle);
+  }
+
+ private:
+  struct Active {
+    std::vector<u32> members;
+    EnhancedRealization realization;
+  };
+  min::Network net_;
+  std::vector<std::vector<u32>> load_;  // [level][row]
+  std::map<u32, Active> active_;
+  std::vector<bool> port_busy_;
+  u32 next_handle_ = 0;
+  SetupError last_error_ = SetupError::kPortBusy;
+};
+
+}  // namespace confnet::conf

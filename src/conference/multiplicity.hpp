@@ -1,0 +1,94 @@
+// Multiplicity of routing conflicts — the paper's key quantity: "the
+// maximum number of conflict parties competing a single interstage link
+// when multiple disjoint conferences simultaneously present in the
+// network".
+//
+// Four independent ways to obtain it (agreement between them is the
+// machine verification of DESIGN.md results R1-R3):
+//   * measure:     count link sharing for a concrete ConferenceSet;
+//   * theory:      closed forms min(2^l, 2^(n-l)) (arbitrary placement, all
+//                  topologies) and the aligned-placement forms (1 for
+//                  omega/cube/butterfly; 2^(min(l,n-l)-1) for baseline and
+//                  flip);
+//   * adversary:   explicit ConferenceSets achieving the bounds;
+//   * exhaustive:  brute force over every disjoint conference set (small N)
+//                  and every aligned buddy configuration (N <= 16).
+#pragma once
+
+#include <vector>
+
+#include "conference/conference.hpp"
+#include "conference/placement.hpp"
+#include "min/types.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace confnet::conf {
+
+/// Per-level maximum link sharing for one concrete conference set.
+struct MultiplicityProfile {
+  std::vector<u32> per_level;  // indexed by level 0..n
+  u32 peak = 0;                // max over interstage levels 1..n-1
+};
+
+/// Measure the sharing profile of `set` under ALL_PAIRS realization.
+[[nodiscard]] MultiplicityProfile measure_multiplicity(
+    min::Kind kind, u32 n, const ConferenceSet& set);
+
+/// Closed form for arbitrary placement: min(2^level, 2^(n-level)).
+[[nodiscard]] u32 theoretical_max(u32 n, u32 level);
+
+/// Closed form for the network-wide peak under arbitrary placement:
+/// 2^floor(n/2) (attained at the middle level).
+[[nodiscard]] u32 theoretical_peak(u32 n);
+
+/// Closed form under aligned-block (buddy) placement:
+/// 1 for omega/cube/butterfly; 2^(min(level,n-level)-1) for baseline/flip
+/// at interstage levels (levels 0 and n are always 1).
+[[nodiscard]] u32 theoretical_aligned_max(min::Kind kind, u32 n, u32 level);
+
+/// Build a set of min(2^level, 2^(n-level)) disjoint two-member
+/// conferences that all use link (level,row) — the constructive lower
+/// bound for R1. Throws if the theoretical construction cannot be packed
+/// (never happens for n >= 2 at interstage levels).
+[[nodiscard]] ConferenceSet adversarial_conference_set(min::Kind kind, u32 n,
+                                                       u32 level, u32 row);
+
+/// Build an aligned-placement conference set achieving
+/// theoretical_aligned_max for baseline/flip at the given level (pairs on
+/// aligned two-port blocks sharing one link).
+[[nodiscard]] ConferenceSet aligned_adversarial_set(min::Kind kind, u32 n,
+                                                    u32 level);
+
+/// Exhaustive maximum over every set of disjoint conferences (every set
+/// partition of [0,N) with parts of size >= 2 plus idle ports). Feasible
+/// for n <= 3 (Bell(8) = 4140 partitions).
+[[nodiscard]] MultiplicityProfile exhaustive_max_multiplicity(min::Kind kind,
+                                                              u32 n);
+
+/// Exhaustive maximum over every aligned buddy configuration (each block of
+/// size >= 2 fully occupied by one conference). Feasible for n <= 4.
+[[nodiscard]] MultiplicityProfile exhaustive_aligned_max(min::Kind kind,
+                                                         u32 n);
+
+/// Exact maximum number of disjoint conferences through one fixed link,
+/// computed by optimizing over the link's window element classes
+/// (In-only / Out-only / both / outside). Independent of the closed form;
+/// tests assert it equals theoretical_max for every link.
+[[nodiscard]] u32 exhaustive_link_packing(min::Kind kind, u32 n, u32 level,
+                                          u32 row);
+
+/// Monte-Carlo: draw `trials` random disjoint conference sets (sizes
+/// uniform in [min_size,max_size], `conference_count` conferences placed by
+/// `policy`) and record the peak multiplicity distribution.
+struct MonteCarloResult {
+  util::RunningStats peak;        // per-trial peak multiplicity
+  std::vector<u32> peak_histogram;  // index = peak value
+  u32 max_peak = 0;
+  u32 placement_failures = 0;  // trials where placement could not fit
+};
+[[nodiscard]] MonteCarloResult monte_carlo_multiplicity(
+    min::Kind kind, u32 n, u32 conference_count, u32 min_size, u32 max_size,
+    PlacementPolicy policy, u32 trials, u64 seed);
+
+}  // namespace confnet::conf

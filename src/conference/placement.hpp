@@ -1,0 +1,106 @@
+// Port placement: how the switching system assigns member ports to a new
+// conference. The paper's enhanced design realizes each conference "in an
+// indirect binary cube-like subnetwork depending on its location", which
+// presumes the system places conferences on aligned blocks (buddy
+// allocation). Arbitrary (first-fit / random) placement is the adversarial
+// alternative that exposes the full Theta(sqrt N) conflict multiplicity.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "conference/conference.hpp"
+#include "util/rng.hpp"
+
+namespace confnet::conf {
+
+/// Classic binary buddy allocator over 2^n ports.
+class BuddyAllocator {
+ public:
+  explicit BuddyAllocator(u32 n);
+
+  [[nodiscard]] u32 n() const noexcept { return n_; }
+  [[nodiscard]] u32 size() const noexcept { return u32{1} << n_; }
+  [[nodiscard]] u32 free_ports() const noexcept { return free_ports_; }
+
+  /// Allocate an aligned block of 2^order ports; nullopt when fragmented
+  /// beyond repair or full. Returns the block base.
+  [[nodiscard]] std::optional<u32> allocate(u32 order);
+
+  /// Release a block previously returned by allocate(order). Buddies are
+  /// coalesced eagerly.
+  void release(u32 base, u32 order);
+
+  /// Whether a block of the given order could be allocated right now.
+  [[nodiscard]] bool can_allocate(u32 order) const;
+
+ private:
+  u32 n_;
+  u32 free_ports_;
+  // free_[order] = sorted bases of free blocks of that order.
+  std::vector<std::vector<u32>> free_;
+  // Live allocations (base,order), for double-free/foreign-free detection.
+  std::set<std::pair<u32, u32>> allocated_;
+};
+
+enum class PlacementPolicy : std::uint8_t {
+  kBuddy,     // aligned 2^ceil(log2 size) block, first `size` ports used
+  kFirstFit,  // lowest-numbered free ports
+  kRandom,    // uniformly random free ports
+};
+
+[[nodiscard]] constexpr std::string_view placement_name(
+    PlacementPolicy p) noexcept {
+  switch (p) {
+    case PlacementPolicy::kBuddy: return "buddy";
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+/// Stateful port allocator implementing the three policies behind one
+/// interface. Allocations are identified by their returned port vectors.
+class PortPlacer {
+ public:
+  PortPlacer(u32 n, PlacementPolicy policy);
+
+  [[nodiscard]] PlacementPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] u32 free_ports() const noexcept;
+
+  /// Choose `size` ports for a new conference; nullopt = placement blocked
+  /// (no capacity or, for buddy, fragmentation).
+  [[nodiscard]] std::optional<std::vector<u32>> place(u32 size,
+                                                      util::Rng& rng);
+
+  /// Choose one additional port for an existing conference (dynamic join).
+  /// Under buddy placement the new member must fit inside the conference's
+  /// block (no migration); nullopt = blocked.
+  [[nodiscard]] std::optional<u32> expand(const std::vector<u32>& current,
+                                          util::Rng& rng);
+
+  /// Release a single member's port (dynamic leave). Buddy blocks stay
+  /// allocated until the full placement is released.
+  void release_one(u32 port);
+
+  /// Return ports taken by a previous place() call (plus any expansions of
+  /// that conference, minus single releases).
+  void release(const std::vector<u32>& ports);
+
+ private:
+  /// Buddy block containing `port`, or end().
+  std::map<u32, u32>::iterator find_buddy_block(u32 port);
+
+  u32 n_;
+  PlacementPolicy policy_;
+  BuddyAllocator buddy_;
+  std::vector<bool> taken_;
+  u32 taken_count_ = 0;
+  // For buddy: block (base,order) keyed by base, to release correctly.
+  std::map<u32, u32> buddy_blocks_;
+};
+
+}  // namespace confnet::conf

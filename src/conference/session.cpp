@@ -1,0 +1,87 @@
+#include "conference/session.hpp"
+
+#include "util/error.hpp"
+
+namespace confnet::conf {
+
+SessionManager::SessionManager(ConferenceNetworkBase& network,
+                               PlacementPolicy policy)
+    : network_(network), placer_(network.n(), policy) {}
+
+std::pair<OpenResult, std::optional<u32>> SessionManager::open(
+    u32 size, util::Rng& rng) {
+  ++stats_.attempts;
+  auto ports = placer_.place(size, rng);
+  if (!ports) {
+    ++stats_.blocked_placement;
+    return {OpenResult::kBlockedPlacement, std::nullopt};
+  }
+  const auto handle = network_.setup(*ports);
+  if (!handle) {
+    placer_.release(*ports);
+    ++stats_.blocked_capacity;
+    return {OpenResult::kBlockedCapacity, std::nullopt};
+  }
+  ++stats_.accepted;
+  const u32 id = next_session_++;
+  sessions_.emplace(id, Session{std::move(*ports), *handle});
+  return {OpenResult::kAccepted, id};
+}
+
+void SessionManager::close(u32 session_id) {
+  const auto it = sessions_.find(session_id);
+  expects(it != sessions_.end(), "close of unknown session");
+  network_.teardown(it->second.handle);
+  placer_.release(it->second.ports);
+  sessions_.erase(it);
+}
+
+const std::vector<u32>& SessionManager::members_of(u32 session_id) const {
+  const auto it = sessions_.find(session_id);
+  expects(it != sessions_.end(), "unknown session");
+  return it->second.ports;
+}
+
+std::pair<OpenResult, std::optional<u32>> SessionManager::join(
+    u32 session_id, util::Rng& rng) {
+  const auto it = sessions_.find(session_id);
+  expects(it != sessions_.end(), "join on unknown session");
+  const auto port = placer_.expand(it->second.ports, rng);
+  if (!port) {
+    ++stats_.joins_blocked;
+    return {OpenResult::kBlockedPlacement, std::nullopt};
+  }
+  if (!network_.add_member(it->second.handle, *port)) {
+    placer_.release_one(*port);
+    ++stats_.joins_blocked;
+    return {OpenResult::kBlockedCapacity, std::nullopt};
+  }
+  it->second.ports.insert(
+      std::lower_bound(it->second.ports.begin(), it->second.ports.end(),
+                       *port),
+      *port);
+  ++stats_.joins;
+  return {OpenResult::kAccepted, port};
+}
+
+bool SessionManager::leave(u32 session_id, u32 port) {
+  const auto it = sessions_.find(session_id);
+  expects(it != sessions_.end(), "leave on unknown session");
+  if (!network_.remove_member(it->second.handle, port)) return false;
+  const auto pos = std::lower_bound(it->second.ports.begin(),
+                                    it->second.ports.end(), port);
+  expects(pos != it->second.ports.end() && *pos == port,
+          "session/network membership mismatch");
+  it->second.ports.erase(pos);
+  placer_.release_one(port);
+  ++stats_.leaves;
+  return true;
+}
+
+u32 SessionManager::handle_of(u32 session_id) const {
+  const auto it = sessions_.find(session_id);
+  expects(it != sessions_.end(), "unknown session");
+  return it->second.handle;
+}
+
+}  // namespace confnet::conf

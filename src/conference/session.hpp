@@ -1,0 +1,89 @@
+// Dynamic conference session management: the control plane that the DES
+// drives. Couples a placement policy (who gets which ports) with a
+// conference network design (can the fabric carry it), and accounts for
+// blocking by cause.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "conference/designs.hpp"
+#include "conference/placement.hpp"
+#include "util/rng.hpp"
+
+namespace confnet::conf {
+
+enum class OpenResult : std::uint8_t {
+  kAccepted,
+  kBlockedPlacement,  // no ports available (or buddy fragmentation)
+  kBlockedCapacity,   // fabric link channels exhausted
+};
+
+struct SessionStats {
+  u64 attempts = 0;
+  u64 accepted = 0;
+  u64 blocked_placement = 0;
+  u64 blocked_capacity = 0;
+  u64 joins = 0;
+  u64 joins_blocked = 0;
+  u64 leaves = 0;
+
+  [[nodiscard]] double blocking_probability() const noexcept {
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(blocked_placement + blocked_capacity) /
+                     static_cast<double>(attempts);
+  }
+};
+
+class SessionManager {
+ public:
+  /// Borrows the network design (caller keeps ownership and lifetime).
+  SessionManager(ConferenceNetworkBase& network, PlacementPolicy policy);
+
+  /// Try to open a conference for `size` members. On success returns a
+  /// session id.
+  [[nodiscard]] std::pair<OpenResult, std::optional<u32>> open(
+      u32 size, util::Rng& rng);
+
+  /// Close an open session, freeing ports and fabric resources.
+  void close(u32 session_id);
+
+  /// Dynamic join: add one member to an open session. Under buddy
+  /// placement the member is placed inside the session's block; other
+  /// policies pick any free port. Returns the new member's port, or the
+  /// blocking cause.
+  [[nodiscard]] std::pair<OpenResult, std::optional<u32>> join(
+      u32 session_id, util::Rng& rng);
+
+  /// Dynamic leave. Refuses (returns false) when the session would drop
+  /// below two members.
+  [[nodiscard]] bool leave(u32 session_id, u32 port);
+
+  /// Members of an open session.
+  [[nodiscard]] const std::vector<u32>& members_of(u32 session_id) const;
+
+  /// Fabric handle of an open session (for design-specific queries such as
+  /// ConferenceNetworkBase::stages_for).
+  [[nodiscard]] u32 handle_of(u32 session_id) const;
+
+  [[nodiscard]] u32 active_sessions() const noexcept {
+    return static_cast<u32>(sessions_.size());
+  }
+  [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ConferenceNetworkBase& network() noexcept { return network_; }
+
+ private:
+  struct Session {
+    std::vector<u32> ports;
+    u32 handle;
+  };
+  ConferenceNetworkBase& network_;
+  PortPlacer placer_;
+  std::map<u32, Session> sessions_;
+  u32 next_session_ = 0;
+  SessionStats stats_;
+};
+
+}  // namespace confnet::conf

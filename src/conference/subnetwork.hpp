@@ -1,0 +1,71 @@
+// Conference subnetworks: the links a conference occupies inside a network.
+//
+// ALL_PAIRS (direct adoption): the union of unique paths between every
+// ordered member pair. In a banyan-class network this equals
+//   { (l,p) : In(l,p) ∩ G != {} and Out(l,p) ∩ G != {} },
+// and because every topology's link row is the OR of a source-determined
+// field and a destination-determined field, the level-l rows factor as
+//   { a | b : a in {src_part(i)}, b in {dst_part(j)} },
+// which is how `all_pairs_links` computes them in O(|A||B|) per level.
+//
+// FANIN_TREE: the union of paths from every member to one root output —
+// the combining tree of the mux-relay (Yang 2001) design.
+//
+// Both have generic (WindowTable-based) twins used as test oracles.
+#pragma once
+
+#include <vector>
+
+#include "conference/conference.hpp"
+#include "min/network.hpp"
+#include "min/types.hpp"
+
+namespace confnet::conf {
+
+/// Link rows per level (levels 0..n), each sorted and duplicate-free.
+using LevelLinks = std::vector<std::vector<u32>>;
+
+/// ALL_PAIRS subnetwork via the closed-form path algebra.
+[[nodiscard]] LevelLinks all_pairs_links(min::Kind kind, u32 n,
+                                         const std::vector<u32>& members);
+
+/// Rows occupied at a single level under ALL_PAIRS (sorted, unique).
+[[nodiscard]] std::vector<u32> all_pairs_rows_at(
+    min::Kind kind, u32 n, const std::vector<u32>& members, u32 level);
+
+/// ALL_PAIRS subnetwork via explicit reachability windows (oracle).
+[[nodiscard]] LevelLinks all_pairs_links_generic(
+    const min::Network& net, const std::vector<u32>& members);
+
+/// True iff the conference occupies link (level,row) under ALL_PAIRS.
+/// O(|members|) bit tests — this is the self-routing predicate a switch
+/// controller would evaluate locally.
+[[nodiscard]] bool uses_link(min::Kind kind, u32 n,
+                             const std::vector<u32>& members, u32 level,
+                             u32 row);
+
+/// FANIN_TREE subnetwork: union of member->root paths.
+[[nodiscard]] LevelLinks fanin_tree_links(min::Kind kind, u32 n,
+                                          const std::vector<u32>& members,
+                                          u32 root);
+
+/// Level at which the combined signal of `members` is complete on every
+/// used row of the indirect binary cube (the mux-relay tap level): the
+/// number of low-order bits in which members disagree. Equals the aligned
+/// span bits; n at worst.
+[[nodiscard]] u32 cube_completion_level(u32 n, const std::vector<u32>& members);
+
+/// The enhanced (Yang 2001) realization on the indirect binary cube:
+/// ALL_PAIRS links truncated at the completion level, where every member
+/// taps its own row through its output multiplexer.
+struct EnhancedRealization {
+  LevelLinks links;   // levels above tap_level are empty
+  u32 tap_level = 0;  // mux selection for every member output
+};
+[[nodiscard]] EnhancedRealization enhanced_cube_realization(
+    u32 n, const std::vector<u32>& members);
+
+/// Total number of links across all levels of a LevelLinks set.
+[[nodiscard]] u64 total_links(const LevelLinks& links);
+
+}  // namespace confnet::conf

@@ -1,0 +1,74 @@
+#include "conference/waitqueue.hpp"
+
+#include "util/error.hpp"
+
+namespace confnet::conf {
+
+WaitQueueManager::WaitQueueManager(ConferenceNetworkBase& network,
+                                   PlacementPolicy policy,
+                                   std::size_t queue_capacity,
+                                   bool allow_bypass)
+    : manager_(network, policy),
+      capacity_(queue_capacity),
+      allow_bypass_(allow_bypass) {}
+
+WaitQueueManager::RequestResult WaitQueueManager::request(u32 size,
+                                                          util::Rng& rng) {
+  // FIFO fairness: while anyone waits, new arrivals go behind them unless
+  // bypass is enabled (then they may still try immediately).
+  const bool must_queue = !queue_.empty() && !allow_bypass_;
+  if (!must_queue) {
+    const auto [outcome, session] = manager_.open(size, rng);
+    if (outcome == OpenResult::kAccepted) {
+      ++stats_.served_immediately;
+      return {RequestOutcome::kServed, session, std::nullopt};
+    }
+  }
+  if (queue_.size() >= capacity_) {
+    ++stats_.rejected;
+    return {RequestOutcome::kRejected, std::nullopt, std::nullopt};
+  }
+  const Ticket ticket{next_ticket_++, size};
+  queue_.push_back(ticket);
+  return {RequestOutcome::kQueued, std::nullopt, ticket};
+}
+
+std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::close(
+    u32 session_id, util::Rng& rng) {
+  manager_.close(session_id);
+  return process_queue(rng);
+}
+
+std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::process_queue(
+    util::Rng& rng) {
+  std::vector<ServedTicket> served;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      const auto [outcome, session] = manager_.open(it->size, rng);
+      if (outcome == OpenResult::kAccepted) {
+        served.push_back(ServedTicket{*it, *session});
+        ++stats_.served_after_wait;
+        queue_.erase(it);
+        progress = true;
+        break;
+      }
+      if (!allow_bypass_) break;  // strict FIFO: head-of-line blocks
+    }
+  }
+  return served;
+}
+
+bool WaitQueueManager::abandon(Ticket ticket) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == ticket.id) {
+      queue_.erase(it);
+      ++stats_.abandoned;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace confnet::conf

@@ -1,0 +1,56 @@
+// Hardware cost models for the compared conference-network designs — the
+// "less hardware cost" axis of the paper's question. Counts are purely
+// structural (crosspoints, combiner gates, interstage link channels,
+// multiplexer gate-equivalents) so they are exactly reproducible.
+//
+// Conventions:
+//   * a 2x2 switch with fan-out is a 4-crosspoint crossbar; fan-in adds one
+//     combiner (mixer) gate per output;
+//   * a stage switch between links of channel multiplicity d_in / d_out is
+//     a (2*d_in) x (2*d_out) crossbar with 2*d_out combiners;
+//   * a k-to-1 multiplexer costs k-1 two-input mux gates.
+#pragma once
+
+#include <cstdint>
+
+#include "conference/designs.hpp"
+
+namespace confnet::cost {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+struct CostBreakdown {
+  u64 switch_modules = 0;
+  u64 crosspoints = 0;
+  u64 combiner_gates = 0;
+  u64 link_channels = 0;  // interstage channels (levels 1..n-1)
+  u64 mux_count = 0;
+  u64 mux_gates = 0;
+
+  /// Aggregate gate-equivalent figure (crosspoints + combiners + muxes).
+  [[nodiscard]] u64 total_gates() const noexcept {
+    return crosspoints + combiner_gates + mux_gates;
+  }
+};
+
+/// Direct adoption of a class network with the given dilation profile.
+/// (Cost is topology-independent within the class: every member has n
+/// stages of N/2 switches; only the dilation matters.)
+[[nodiscard]] CostBreakdown direct_cost(u32 n,
+                                        const conf::DilationProfile& dilation);
+
+/// The enhanced indirect-binary-cube design (Yang 2001): plain cube plus
+/// one (n+1)-to-1 relay multiplexer per output.
+[[nodiscard]] CostBreakdown enhanced_cube_cost(u32 n);
+
+/// Strawman upper bound: a single N x N crossbar with a combiner per
+/// output pin (trivially nonblocking for conferences, quadratic cost).
+[[nodiscard]] CostBreakdown crossbar_cost(u32 n);
+
+/// Vertical replication: r unit-dilation planes plus a 1-to-r input
+/// demultiplexer and an r-to-1 output multiplexer per port (the
+/// dilation-vs-replication trade of experiment E12).
+[[nodiscard]] CostBreakdown replicated_cost(u32 n, u32 planes);
+
+}  // namespace confnet::cost

@@ -1,0 +1,57 @@
+// Benes rearrangeable network: the classic reference point for the class.
+//
+// A banyan network admits only a vanishing fraction of permutations without
+// conflicts (E2/E7 territory); the Benes network — two butterflies sharing
+// their middle stage, 2n-1 stages total — realizes EVERY permutation
+// conflict-free, at about twice the hardware. This module builds the
+// butterfly-based Benes and implements the classic looping algorithm that
+// computes switch settings for an arbitrary permutation; `apply` then
+// simulates the fabric to confirm the realization. Used by E13 to put the
+// paper's blocking results in context.
+#pragma once
+
+#include <vector>
+
+#include "min/types.hpp"
+
+namespace confnet::min {
+
+class BenesNetwork {
+ public:
+  /// N = 2^n ports, 2n-1 stages of N/2 two-by-two switches.
+  explicit BenesNetwork(u32 n);
+
+  [[nodiscard]] u32 n() const noexcept { return n_; }
+  [[nodiscard]] u32 size() const noexcept { return u32{1} << n_; }
+  [[nodiscard]] u32 stage_count() const noexcept { return 2 * n_ - 1; }
+
+  /// Pairing bit of stage s: n-1, n-2, ..., 1, 0, 1, ..., n-1.
+  [[nodiscard]] u32 stage_bit(u32 stage) const;
+
+  /// Switch settings: settings[stage][x] = crossed, indexed by the lower
+  /// row x of the switch's pair (bit stage_bit(stage) of x is zero; other
+  /// entries unused).
+  using Settings = std::vector<std::vector<bool>>;
+
+  /// Looping algorithm: settings realizing src -> perm[src] for all
+  /// sources simultaneously, conflict-free. `perm` must be a bijection.
+  [[nodiscard]] Settings route_permutation(const std::vector<u32>& perm) const;
+
+  /// Simulate the fabric under the given settings; result[src] = output
+  /// reached. Always a permutation (each stage only swaps pairs).
+  [[nodiscard]] std::vector<u32> apply(const Settings& settings) const;
+
+  /// Crosspoint count (2n-1 stages of N/2 4-crosspoint switches) for the
+  /// cost comparison against a single banyan.
+  [[nodiscard]] u64 crosspoints() const noexcept {
+    return static_cast<u64>(stage_count()) * (size() / 2) * 4;
+  }
+
+ private:
+  void route_recursive(u32 m, const std::vector<u32>& perm, u32 first_stage,
+                       u32 row_base, Settings& settings) const;
+
+  u32 n_;
+};
+
+}  // namespace confnet::min

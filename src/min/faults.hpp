@@ -1,0 +1,58 @@
+// Link-fault modeling for the class.
+//
+// Banyan networks have a unique path per (input, output) pair, so a single
+// faulty interstage link disconnects a whole In x Out window of pairs —
+// and kills every conference whose subnetwork touches it. This module
+// quantifies that fragility (a known weakness the paper's line of work
+// inherits) and provides the fault set abstraction used by the
+// fault-tolerance experiment (E10) and by fault-aware admission.
+#pragma once
+
+#include <vector>
+
+#include "min/types.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace confnet::min {
+
+/// A set of failed links (levels 0..n; external levels allowed — a failed
+/// level-0/n link models a dead port interface).
+class FaultSet {
+ public:
+  explicit FaultSet(u32 n);
+
+  [[nodiscard]] u32 n() const noexcept { return n_; }
+  [[nodiscard]] u32 size() const noexcept { return u32{1} << n_; }
+
+  void fail_link(u32 level, u32 row);
+  void repair_link(u32 level, u32 row);
+  [[nodiscard]] bool is_faulty(u32 level, u32 row) const;
+  [[nodiscard]] u64 fault_count() const noexcept { return count_; }
+
+  /// Fail every interstage link independently with probability p.
+  void inject_random(double p, util::Rng& rng);
+
+  /// Fail a whole stage-`stage` switch (its two output links).
+  void fail_switch_outputs(Kind kind, u32 stage, u32 switch_index);
+
+ private:
+  u32 n_;
+  u64 count_ = 0;
+  std::vector<util::DynBitset> faulty_;  // per level
+};
+
+/// True iff the unique (src,dst) path avoids every faulty link.
+[[nodiscard]] bool path_survives(Kind kind, u32 n, u32 src, u32 dst,
+                                 const FaultSet& faults);
+
+/// Fraction of the N^2 (src,dst) pairs still connected.
+[[nodiscard]] double connectivity(Kind kind, u32 n, const FaultSet& faults);
+
+/// True iff a conference on `members` (ALL_PAIRS realization) avoids every
+/// faulty link — equivalently all member pairs survive.
+[[nodiscard]] bool conference_survives(Kind kind, u32 n,
+                                       const std::vector<u32>& members,
+                                       const FaultSet& faults);
+
+}  // namespace confnet::min

@@ -1,0 +1,138 @@
+#include "min/network.hpp"
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace confnet::min {
+
+using util::bit;
+
+const util::DynBitset& WindowTable::in_set(u32 level, u32 row) const {
+  expects(level <= n_ && row < N_, "WindowTable::in_set out of range");
+  return in_[static_cast<std::size_t>(level) * N_ + row];
+}
+
+const util::DynBitset& WindowTable::out_set(u32 level, u32 row) const {
+  expects(level <= n_ && row < N_, "WindowTable::out_set out of range");
+  return out_[static_cast<std::size_t>(level) * N_ + row];
+}
+
+Network::Network(Topology topo) : topo_(std::move(topo)) {
+  const u32 N = size();
+  const u32 n = this->n();
+  in_map_.resize(n);
+  in_inv_.resize(n);
+  out_map_.resize(n);
+  out_inv_.resize(n);
+  for (u32 k = 0; k < n; ++k) {
+    const auto& st = topo_.stages()[k];
+    in_map_[k].resize(N);
+    in_inv_[k].resize(N);
+    out_map_[k].resize(N);
+    out_inv_[k].resize(N);
+    for (u32 p = 0; p < N; ++p) {
+      in_map_[k][p] = st.in_perm(p);
+      out_map_[k][p] = st.out_perm(p);
+    }
+    for (u32 p = 0; p < N; ++p) {
+      in_inv_[k][in_map_[k][p]] = p;
+      out_inv_[k][out_map_[k][p]] = p;
+    }
+  }
+}
+
+std::array<u32, 2> Network::successors(u32 level, u32 row) const {
+  expects(level < n() && row < size(), "successors out of range");
+  const u32 q = in_map_[level][row];
+  const u32 w = q >> 1;
+  return {out_map_[level][2 * w], out_map_[level][2 * w + 1]};
+}
+
+std::array<u32, 2> Network::predecessors(u32 level, u32 row) const {
+  expects(level >= 1 && level <= n() && row < size(),
+          "predecessors out of range");
+  const u32 k = level - 1;
+  const u32 q = out_inv_[k][row];
+  const u32 w = q >> 1;
+  return {in_inv_[k][2 * w], in_inv_[k][2 * w + 1]};
+}
+
+u32 Network::switch_of_input(u32 stage, u32 row) const {
+  expects(stage >= 1 && stage <= n() && row < size(),
+          "switch_of_input out of range");
+  return in_map_[stage - 1][row] >> 1;
+}
+
+u32 Network::switch_of_output(u32 stage, u32 row) const {
+  expects(stage >= 1 && stage <= n() && row < size(),
+          "switch_of_output out of range");
+  return out_inv_[stage - 1][row] >> 1;
+}
+
+std::vector<u32> Network::route_rows(u32 src, u32 dst) const {
+  expects(src < size() && dst < size(), "route endpoints out of range");
+  std::vector<u32> rows(n() + 1);
+  rows[0] = src;
+  u32 r = src;
+  for (u32 k = 0; k < n(); ++k) {
+    const u32 q = in_map_[k][r];
+    const u32 b = bit(dst, topo_.stages()[k].routing_bit);
+    r = out_map_[k][(q & ~u32{1}) | b];
+    rows[k + 1] = r;
+  }
+  ensures(r == dst, "destination-tag routing did not reach dst");
+  return rows;
+}
+
+std::vector<u32> Network::route_rows_generic(u32 src, u32 dst) const {
+  expects(src < size() && dst < size(), "route endpoints out of range");
+  const WindowTable& wt = windows();
+  std::vector<u32> rows(n() + 1);
+  rows[0] = src;
+  u32 r = src;
+  for (u32 level = 0; level < n(); ++level) {
+    const auto next = successors(level, r);
+    const bool a = wt.out_set(level + 1, next[0]).test(dst);
+    const bool b = wt.out_set(level + 1, next[1]).test(dst);
+    ensures(a != b, "banyan property violated: not exactly one way forward");
+    r = a ? next[0] : next[1];
+    rows[level + 1] = r;
+  }
+  ensures(r == dst, "generic routing did not reach dst");
+  return rows;
+}
+
+const WindowTable& Network::windows() const {
+  std::call_once(windows_once_, [this] {
+    const u32 N = size();
+    const u32 n = this->n();
+    auto wt = std::unique_ptr<WindowTable>(new WindowTable(n, N));
+    wt->in_.assign(static_cast<std::size_t>(n + 1) * N, util::DynBitset(N));
+    wt->out_.assign(static_cast<std::size_t>(n + 1) * N, util::DynBitset(N));
+    // Forward pass: inputs reaching each link.
+    for (u32 p = 0; p < N; ++p) wt->in_[p].set(p);
+    for (u32 level = 0; level < n; ++level) {
+      for (u32 p = 0; p < N; ++p) {
+        const auto next = successors(level, p);
+        const auto& src = wt->in_[static_cast<std::size_t>(level) * N + p];
+        for (u32 q : next)
+          wt->in_[static_cast<std::size_t>(level + 1) * N + q] |= src;
+      }
+    }
+    // Backward pass: outputs reachable from each link.
+    for (u32 p = 0; p < N; ++p)
+      wt->out_[static_cast<std::size_t>(n) * N + p].set(p);
+    for (u32 level = n; level >= 1; --level) {
+      for (u32 p = 0; p < N; ++p) {
+        const auto prev = predecessors(level, p);
+        const auto& src = wt->out_[static_cast<std::size_t>(level) * N + p];
+        for (u32 q : prev)
+          wt->out_[static_cast<std::size_t>(level - 1) * N + q] |= src;
+      }
+    }
+    windows_ = std::move(wt);
+  });
+  return *windows_;
+}
+
+}  // namespace confnet::min

@@ -1,0 +1,30 @@
+// Unicast permutation routing over the class — the classic blocking
+// analysis that conference routing generalizes. Used by tests (known
+// worst/best cases such as bit-reversal through omega) and by the E7 bench
+// as a routing workload.
+#pragma once
+
+#include <vector>
+
+#include "min/network.hpp"
+
+namespace confnet::min {
+
+/// Per-level maximum link load when routing src -> perm[src] for all
+/// sources simultaneously. load[level] is over all rows of that level.
+struct LoadProfile {
+  std::vector<u32> max_load;  // indexed by level 0..n
+  u32 peak = 0;               // max over interstage levels 1..n-1
+};
+
+/// Route the full permutation and report link loads. `perm` must be a
+/// bijection on [0, N).
+[[nodiscard]] LoadProfile permutation_load(const Network& net,
+                                           const std::vector<u32>& perm);
+
+/// True iff the permutation routes with every link carrying at most one
+/// signal (the network "passes" the permutation).
+[[nodiscard]] bool is_admissible(const Network& net,
+                                 const std::vector<u32>& perm);
+
+}  // namespace confnet::min

@@ -1,0 +1,23 @@
+// Closed-form self-routing: the row occupied at any level of the unique
+// (src,dst) path, computed with a handful of bit operations and no network
+// state. This is the "simpler self-routing algorithm" the paper's question
+// asks about: a switch can derive its action locally from the address bits.
+//
+// `min_selfroute_test` asserts these formulas equal Network::route_rows for
+// every (src,dst,level) of every topology.
+#pragma once
+
+#include <vector>
+
+#include "min/types.hpp"
+
+namespace confnet::min {
+
+/// Row occupied at `level` (0..n) by the unique path src -> dst.
+[[nodiscard]] u32 path_row(Kind kind, u32 n, u32 src, u32 dst, u32 level);
+
+/// All rows of the path, levels 0..n (equivalent to Network::route_rows but
+/// allocation is the only non-O(1) cost per level).
+[[nodiscard]] std::vector<u32> path_rows(Kind kind, u32 n, u32 src, u32 dst);
+
+}  // namespace confnet::min

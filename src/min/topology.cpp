@@ -1,0 +1,64 @@
+#include "min/topology.hpp"
+
+#include "util/error.hpp"
+
+namespace confnet::min {
+
+Kind kind_from_name(std::string_view name) {
+  for (Kind k : kAllKinds)
+    if (kind_name(k) == name) return k;
+  throw Error("unknown topology name: " + std::string(name));
+}
+
+Topology::Topology(Kind kind, u32 n, std::vector<StageSpec> stages)
+    : kind_(kind), n_(n), stages_(std::move(stages)) {
+  expects(n_ >= 1 && n_ <= 20, "Topology needs 1 <= n <= 20");
+  expects(stages_.size() == n_, "Topology needs exactly n stages");
+  const u32 N = size();
+  for (const auto& s : stages_) {
+    expects(s.in_perm.size() == N && s.out_perm.size() == N,
+            "stage wiring size mismatch");
+    expects(s.routing_bit < n_, "routing bit out of range");
+  }
+}
+
+Topology make_topology(Kind kind, u32 n) {
+  expects(n >= 1 && n <= 20, "make_topology needs 1 <= n <= 20");
+  std::vector<StageSpec> stages;
+  stages.reserve(n);
+  const Permutation id = Permutation::identity(u32{1} << n);
+  for (u32 k = 0; k < n; ++k) {
+    switch (kind) {
+      case Kind::kOmega:
+        // Shuffle in front of every stage; destination bits MSB -> LSB.
+        stages.push_back(StageSpec{shuffle(n), id, n - 1 - k});
+        break;
+      case Kind::kBaseline:
+        // Adjacent pairing, then inverse shuffle inside halving blocks.
+        stages.push_back(StageSpec{id, block_unshuffle(n, n - k), n - 1 - k});
+        break;
+      case Kind::kIndirectCube:
+        // Stage k pairs rows differing in bit k; destination bits LSB->MSB.
+        stages.push_back(
+            StageSpec{bit_to_lsb(n, k), lsb_to_bit(n, k), k});
+        break;
+      case Kind::kButterfly:
+        // Stage k pairs rows differing in bit n-1-k; MSB -> LSB.
+        stages.push_back(StageSpec{bit_to_lsb(n, n - 1 - k),
+                                   lsb_to_bit(n, n - 1 - k), n - 1 - k});
+        break;
+      case Kind::kFlip:
+        // Reverse baseline: shuffle inside growing blocks, identity out.
+        stages.push_back(StageSpec{block_shuffle(n, k + 1), id, n - 1 - k});
+        break;
+      case Kind::kReverseOmega:
+        // Mirrored omega: adjacent pairing, inverse shuffle after every
+        // stage; destination bits LSB -> MSB.
+        stages.push_back(StageSpec{id, unshuffle(n), k});
+        break;
+    }
+  }
+  return Topology(kind, n, std::move(stages));
+}
+
+}  // namespace confnet::min

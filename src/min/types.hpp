@@ -1,0 +1,64 @@
+// Common identifiers for the multistage-interconnection-network substrate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace confnet::min {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// The class of banyan multistage networks studied by the paper, plus two
+/// companions that complete the classic taxonomy.
+enum class Kind : std::uint8_t {
+  kOmega,         // perfect-shuffle wiring before every stage
+  kBaseline,      // recursive block inverse-shuffle after every stage
+  kIndirectCube,  // stage k pairs rows differing in bit k (LSB first)
+  kButterfly,     // stage k pairs rows differing in bit n-1-k (MSB first)
+  kFlip,          // reverse baseline
+  kReverseOmega,  // inverse-shuffle wiring after every stage (omega mirrored)
+};
+
+inline constexpr std::array<Kind, 6> kAllKinds{
+    Kind::kOmega,     Kind::kBaseline, Kind::kIndirectCube,
+    Kind::kButterfly, Kind::kFlip,     Kind::kReverseOmega};
+
+/// The three networks the ICPP 2002 abstract names explicitly.
+inline constexpr std::array<Kind, 3> kPaperKinds{
+    Kind::kBaseline, Kind::kOmega, Kind::kIndirectCube};
+
+[[nodiscard]] constexpr std::string_view kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::kOmega: return "omega";
+    case Kind::kBaseline: return "baseline";
+    case Kind::kIndirectCube: return "cube";
+    case Kind::kButterfly: return "butterfly";
+    case Kind::kFlip: return "flip";
+    case Kind::kReverseOmega: return "reverse-omega";
+  }
+  return "?";
+}
+
+/// Parse a kind name as produced by kind_name(); throws on anything else.
+[[nodiscard]] Kind kind_from_name(std::string_view name);
+
+/// A link in the stage graph. Level 0 = network inputs, level n = network
+/// outputs, levels 1..n-1 = interstage links. `row` in [0, N).
+struct LinkRef {
+  u32 level = 0;
+  u32 row = 0;
+
+  friend constexpr bool operator==(LinkRef a, LinkRef b) noexcept {
+    return a.level == b.level && a.row == b.row;
+  }
+  friend constexpr auto operator<=>(LinkRef a, LinkRef b) noexcept = default;
+};
+
+/// Dense index of a link given network size N: level * N + row.
+[[nodiscard]] constexpr u64 link_index(LinkRef l, u32 N) noexcept {
+  return static_cast<u64>(l.level) * N + l.row;
+}
+
+}  // namespace confnet::min

@@ -1,0 +1,90 @@
+#include "min/windows.hpp"
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace confnet::min {
+
+using util::bit_field;
+using util::low_bits;
+
+namespace {
+void check_args(u32 n, u32 level, u32 row) {
+  expects(n >= 1 && n <= 20, "window: 1 <= n <= 20");
+  expects(level <= n, "window: level <= n");
+  expects(row < (u32{1} << n), "window: row < N");
+}
+
+constexpr WindowDesc block(u32 first, u32 size) noexcept {
+  return WindowDesc{WindowShape::kBlock, first, 1, size};
+}
+
+constexpr WindowDesc stride_class(u32 first, u32 stride, u32 size) noexcept {
+  // A full-period stride class degenerates to a block when stride == 1.
+  return WindowDesc{stride == 1 ? WindowShape::kBlock : WindowShape::kStride,
+                    first, stride, size};
+}
+}  // namespace
+
+WindowDesc in_window(Kind kind, u32 n, u32 level, u32 row) {
+  check_args(n, level, row);
+  const u32 l = level;
+  const u32 size = u32{1} << l;
+  switch (kind) {
+    case Kind::kOmega:
+      // Link row = s_low(n-l) . d_top(l)  =>  s fixed in its low n-l bits.
+      return stride_class(static_cast<u32>(row >> l), u32{1} << (n - l), size);
+    case Kind::kButterfly:
+      // Row keeps s's low n-l bits in place.
+      return stride_class(static_cast<u32>(low_bits(row, n - l)),
+                          u32{1} << (n - l), size);
+    case Kind::kIndirectCube:
+      // Row keeps s's high n-l bits in place.
+      return block(static_cast<u32>((row >> l) << l), size);
+    case Kind::kBaseline:
+      // Row = d_top(l) . s_high(n-l): sources with those high bits.
+      return block(static_cast<u32>(low_bits(row, n - l) << l), size);
+    case Kind::kFlip:
+      // Row = s_high(n-l) . d_top(l).
+      return block(static_cast<u32>((row >> l) << l), size);
+    case Kind::kReverseOmega:
+      // Row = d_low(l) . s_high(n-l): sources with those high bits.
+      return block(static_cast<u32>(low_bits(row, n - l) << l), size);
+  }
+  throw Error("in_window: bad kind");
+}
+
+WindowDesc out_window(Kind kind, u32 n, u32 level, u32 row) {
+  check_args(n, level, row);
+  const u32 l = level;
+  const u32 size = u32{1} << (n - l);
+  switch (kind) {
+    case Kind::kOmega:
+      // Destinations whose top l bits equal the row's low l bits.
+      return block(static_cast<u32>(low_bits(row, l) << (n - l)), size);
+    case Kind::kButterfly:
+      // Destinations whose top l bits equal the row's top l bits.
+      return block(static_cast<u32>((row >> (n - l)) << (n - l)), size);
+    case Kind::kIndirectCube:
+      // Destinations whose low l bits equal the row's low l bits.
+      return stride_class(static_cast<u32>(low_bits(row, l)), u32{1} << l,
+                          size);
+    case Kind::kBaseline:
+      // Destinations whose top l bits equal the row's top l bits.
+      return block(static_cast<u32>((row >> (n - l)) << (n - l)), size);
+    case Kind::kFlip:
+      // Destinations whose top l bits equal the row's low l bits.
+      return block(static_cast<u32>(low_bits(row, l) << (n - l)), size);
+    case Kind::kReverseOmega:
+      // Destinations whose low l bits equal the row's top l bits.
+      return stride_class(static_cast<u32>(row >> (n - l)), u32{1} << l,
+                          size);
+  }
+  throw Error("out_window: bad kind");
+}
+
+bool has_block_block_windows(Kind kind) noexcept {
+  return kind == Kind::kBaseline || kind == Kind::kFlip;
+}
+
+}  // namespace confnet::min

@@ -1,0 +1,56 @@
+// Closed-form reachability windows for the studied class.
+//
+// Every link (level,row) of a banyan-class network partitions the address
+// bits into a source-determined part and a destination-determined part; the
+// resulting In/Out windows are either aligned contiguous blocks or stride
+// residue classes. The window *shapes* per topology are the structural fact
+// behind the conference-conflict results (DESIGN.md R1/R2) and are the
+// content of experiment E1. `min_test` asserts these formulas against the
+// BFS-computed `WindowTable` for every link of every topology.
+#pragma once
+
+#include "min/types.hpp"
+
+namespace confnet::min {
+
+enum class WindowShape : std::uint8_t {
+  kBlock,   // aligned contiguous block {first .. first+size-1}
+  kStride,  // residue class {first, first+stride, ...}, size elements
+};
+
+[[nodiscard]] constexpr std::string_view shape_name(WindowShape s) noexcept {
+  return s == WindowShape::kBlock ? "block" : "stride";
+}
+
+/// A window as an arithmetic progression: {first + i*stride : 0 <= i < size}.
+/// Blocks have stride 1 and an aligned first element.
+struct WindowDesc {
+  WindowShape shape;
+  u32 first;
+  u32 stride;
+  u32 size;
+
+  [[nodiscard]] constexpr bool contains(u32 x) const noexcept {
+    if (x < first) return false;
+    const u32 off = x - first;
+    return off % stride == 0 && off / stride < size;
+  }
+
+  /// i-th smallest element.
+  [[nodiscard]] constexpr u32 element(u32 i) const noexcept {
+    return first + i * stride;
+  }
+};
+
+/// Inputs that can reach link (level,row); |window| == 2^level.
+[[nodiscard]] WindowDesc in_window(Kind kind, u32 n, u32 level, u32 row);
+
+/// Outputs reachable from link (level,row); |window| == 2^(n-level).
+[[nodiscard]] WindowDesc out_window(Kind kind, u32 n, u32 level, u32 row);
+
+/// True iff both of the topology's window families are aligned blocks
+/// (baseline and flip). Such networks keep conference conflicts even under
+/// aligned-block placement (result R2).
+[[nodiscard]] bool has_block_block_windows(Kind kind) noexcept;
+
+}  // namespace confnet::min

@@ -1,0 +1,122 @@
+#include "min/wiring.hpp"
+
+#include <numeric>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace confnet::min {
+
+using util::bit;
+using util::low_bits;
+using util::reverse_bits_n;
+using util::rotl_n;
+using util::rotr_n;
+
+Permutation::Permutation(std::vector<u32> map) : map_(std::move(map)) {
+  std::vector<bool> seen(map_.size(), false);
+  for (u32 v : map_) {
+    expects(v < map_.size(), "Permutation value out of range");
+    expects(!seen[v], "Permutation has a duplicate value");
+    seen[v] = true;
+  }
+}
+
+Permutation Permutation::identity(u32 size) {
+  std::vector<u32> m(size);
+  std::iota(m.begin(), m.end(), 0u);
+  return Permutation(std::move(m));
+}
+
+u32 Permutation::operator()(u32 i) const {
+  expects(i < map_.size(), "Permutation index out of range");
+  return map_[i];
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<u32> inv(map_.size());
+  for (u32 i = 0; i < map_.size(); ++i) inv[map_[i]] = i;
+  return Permutation(std::move(inv));
+}
+
+Permutation Permutation::then(const Permutation& g) const {
+  expects(size() == g.size(), "Permutation size mismatch in composition");
+  std::vector<u32> m(map_.size());
+  for (u32 i = 0; i < map_.size(); ++i) m[i] = g.map_[map_[i]];
+  return Permutation(std::move(m));
+}
+
+bool Permutation::is_identity() const noexcept {
+  for (u32 i = 0; i < map_.size(); ++i)
+    if (map_[i] != i) return false;
+  return true;
+}
+
+namespace {
+Permutation from_fn(u32 n_bits, u32 (*fn)(u32, u32), u32 arg) {
+  expects(n_bits >= 1 && n_bits < 31, "wiring needs 1 <= n_bits < 31");
+  const u32 N = u32{1} << n_bits;
+  std::vector<u32> m(N);
+  for (u32 p = 0; p < N; ++p) m[p] = fn(p, arg);
+  return Permutation(std::move(m));
+}
+}  // namespace
+
+Permutation shuffle(u32 n_bits) {
+  return from_fn(
+      n_bits, +[](u32 p, u32 n) { return static_cast<u32>(rotl_n(p, n)); },
+      n_bits);
+}
+
+Permutation unshuffle(u32 n_bits) {
+  return from_fn(
+      n_bits, +[](u32 p, u32 n) { return static_cast<u32>(rotr_n(p, n)); },
+      n_bits);
+}
+
+Permutation block_shuffle(u32 n_bits, u32 block_bits) {
+  expects(block_bits >= 1 && block_bits <= n_bits,
+          "block_shuffle needs 1 <= block_bits <= n_bits");
+  const u32 N = u32{1} << n_bits;
+  const u32 mask = (u32{1} << block_bits) - 1;
+  std::vector<u32> m(N);
+  for (u32 p = 0; p < N; ++p)
+    m[p] = (p & ~mask) | static_cast<u32>(rotl_n(p & mask, block_bits));
+  return Permutation(std::move(m));
+}
+
+Permutation block_unshuffle(u32 n_bits, u32 block_bits) {
+  expects(block_bits >= 1 && block_bits <= n_bits,
+          "block_unshuffle needs 1 <= block_bits <= n_bits");
+  const u32 N = u32{1} << n_bits;
+  const u32 mask = (u32{1} << block_bits) - 1;
+  std::vector<u32> m(N);
+  for (u32 p = 0; p < N; ++p)
+    m[p] = (p & ~mask) | static_cast<u32>(rotr_n(p & mask, block_bits));
+  return Permutation(std::move(m));
+}
+
+Permutation bit_to_lsb(u32 n_bits, u32 k) {
+  expects(k < n_bits, "bit_to_lsb needs k < n_bits");
+  const u32 N = u32{1} << n_bits;
+  const u32 low_mask = (u32{1} << k) - 1;
+  std::vector<u32> m(N);
+  for (u32 p = 0; p < N; ++p) {
+    const u32 w = ((p >> (k + 1)) << k) | (p & low_mask);
+    m[p] = (w << 1) | bit(p, k);
+  }
+  return Permutation(std::move(m));
+}
+
+Permutation lsb_to_bit(u32 n_bits, u32 k) {
+  return bit_to_lsb(n_bits, k).inverse();
+}
+
+Permutation bit_reversal(u32 n_bits) {
+  return from_fn(
+      n_bits,
+      +[](u32 p, u32 n) { return static_cast<u32>(reverse_bits_n(p, n)); },
+      n_bits);
+}
+
+}  // namespace confnet::min

@@ -1,0 +1,71 @@
+// Interstage wiring permutations.
+//
+// Every network in the studied class is "switches + bit-permutation wiring";
+// this module provides the permutation algebra and the named wiring patterns
+// (perfect shuffle, block inverse shuffle, cube bit-extraction, bit
+// reversal) from which `topology.cpp` assembles the networks.
+#pragma once
+
+#include <vector>
+
+#include "min/types.hpp"
+
+namespace confnet::min {
+
+/// An explicit permutation of [0, size). Immutable after construction.
+class Permutation {
+ public:
+  /// Wraps a mapping; throws unless `map` is a bijection on its index range.
+  explicit Permutation(std::vector<u32> map);
+
+  [[nodiscard]] static Permutation identity(u32 size);
+
+  [[nodiscard]] u32 size() const noexcept {
+    return static_cast<u32>(map_.size());
+  }
+
+  [[nodiscard]] u32 operator()(u32 i) const;
+
+  [[nodiscard]] Permutation inverse() const;
+
+  /// Composition: (this->then(g))(x) == g(this(x)).
+  [[nodiscard]] Permutation then(const Permutation& g) const;
+
+  [[nodiscard]] bool is_identity() const noexcept;
+
+  friend bool operator==(const Permutation& a, const Permutation& b) {
+    return a.map_ == b.map_;
+  }
+
+ private:
+  std::vector<u32> map_;
+};
+
+// --- Named wiring patterns on N = 2^n_bits ports. ---
+
+/// Perfect shuffle: rotate the n-bit address left by one.
+[[nodiscard]] Permutation shuffle(u32 n_bits);
+
+/// Inverse perfect shuffle: rotate right by one.
+[[nodiscard]] Permutation unshuffle(u32 n_bits);
+
+/// Perfect shuffle applied independently inside aligned blocks of
+/// 2^block_bits ports (rotate the low block_bits left by one).
+[[nodiscard]] Permutation block_shuffle(u32 n_bits, u32 block_bits);
+
+/// Inverse shuffle inside aligned blocks of 2^block_bits ports. This is the
+/// baseline network's interstage wiring.
+[[nodiscard]] Permutation block_unshuffle(u32 n_bits, u32 block_bits);
+
+/// Moves bit `k` of the address to the LSB, shifting bits k+1..n-1 down by
+/// one; rows u and u^(1<<k) become switch-adjacent (2w, 2w+1). This is the
+/// indirect-binary-cube stage-input wiring.
+[[nodiscard]] Permutation bit_to_lsb(u32 n_bits, u32 k);
+
+/// Inverse of bit_to_lsb: re-inserts the LSB at bit position `k`.
+[[nodiscard]] Permutation lsb_to_bit(u32 n_bits, u32 k);
+
+/// Bit-reversal permutation (classic worst case for unicast omega routing).
+[[nodiscard]] Permutation bit_reversal(u32 n_bits);
+
+}  // namespace confnet::min

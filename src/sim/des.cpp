@@ -1,0 +1,29 @@
+#include "sim/des.hpp"
+
+#include "util/error.hpp"
+
+namespace confnet::sim {
+
+void Simulator::schedule(SimTime t, std::function<void()> fn) {
+  expects(t >= now_, "cannot schedule events in the past");
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void Simulator::run_until(SimTime t_end) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > t_end) break;
+    // priority_queue::top is const; move out via const_cast is UB — copy
+    // the callable handle instead (cheap: std::function small for our
+    // lambdas, and correctness beats the copy here).
+    Event ev{top.time, top.seq, top.fn};
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (queue_.empty() || queue_.top().time > t_end) now_ = t_end;
+}
+
+}  // namespace confnet::sim

@@ -1,0 +1,59 @@
+// Minimal deterministic discrete-event simulation engine.
+//
+// Events at equal timestamps fire in scheduling order (a monotone sequence
+// number breaks ties), so a fixed RNG seed reproduces a run exactly — the
+// property every experiment harness in bench/ depends on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace confnet::sim {
+
+using SimTime = double;
+
+class Simulator {
+ public:
+  /// Schedule `fn` at absolute time `t` (>= now()).
+  void schedule(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` at now() + dt.
+  void schedule_in(SimTime dt, std::function<void()> fn) {
+    schedule(now_ + dt, std::move(fn));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+  /// Run until the queue drains or simulated time exceeds `t_end`.
+  /// Events scheduled beyond t_end stay queued (and are discarded when the
+  /// simulator is destroyed).
+  void run_until(SimTime t_end);
+
+  /// Stop after the current event returns.
+  void stop() noexcept { stopped_ = true; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace confnet::sim

@@ -1,0 +1,44 @@
+// Analytic loss-system references.
+//
+// Port-availability blocking of the conference service under complete
+// sharing (first-fit/random placement with a conflict-free fabric) is
+// exactly a multi-rate Erlang loss system: class-k sessions demand k ports
+// of the N-port pool. The Kaufman-Roberts recursion gives its blocking in
+// closed form, which E6 uses to validate the simulator and the examples
+// use for instant capacity answers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace confnet::sim {
+
+/// Classic Erlang-B: blocking probability of `offered_erlangs` of traffic
+/// on `servers` single-slot servers. Computed by the stable recursion
+/// B(0) = 1, B(m) = E*B(m-1) / (m + E*B(m-1)).
+[[nodiscard]] double erlang_b(double offered_erlangs, std::uint32_t servers);
+
+/// Inverse problem: smallest server count with blocking <= target.
+[[nodiscard]] std::uint32_t erlang_b_servers(double offered_erlangs,
+                                             double target_blocking);
+
+/// One traffic class of the multi-rate loss system.
+struct TrafficClass {
+  std::uint32_t ports;    // ports demanded per session (>= 1)
+  double erlangs;         // offered load of this class (arrival * holding)
+};
+
+/// Kaufman-Roberts: per-class blocking probabilities for classes sharing a
+/// pool of `total_ports` ports under complete sharing.
+[[nodiscard]] std::vector<double> kaufman_roberts_blocking(
+    std::uint32_t total_ports, const std::vector<TrafficClass>& classes);
+
+/// Arrival-weighted aggregate blocking over all classes (what a
+/// per-session counter in the simulator measures when every class has the
+/// same arrival rate per Erlang unit of its own class — pass per-class
+/// arrival weights explicitly).
+[[nodiscard]] double aggregate_blocking(
+    const std::vector<double>& per_class_blocking,
+    const std::vector<double>& arrival_weights);
+
+}  // namespace confnet::sim

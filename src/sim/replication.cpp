@@ -1,0 +1,32 @@
+#include "sim/replication.hpp"
+
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace confnet::sim {
+
+ReplicatedResult run_replications(const DesignFactory& factory,
+                                  TeletrafficConfig config,
+                                  std::size_t replications) {
+  ReplicatedResult agg;
+  std::mutex mu;
+  util::global_pool().parallel_for(replications, [&](std::size_t rep) {
+    TeletrafficConfig c = config;
+    c.seed = config.seed + rep;
+    const auto design = factory();
+    const TeletrafficResult r = run_teletraffic(*design, c);
+    std::lock_guard lock(mu);
+    agg.blocking.add(r.blocking_probability);
+    agg.carried.add(r.mean_active_sessions);
+    agg.busy_ports.add(r.mean_busy_ports);
+    if (r.session_stages.n > 0) agg.stages.add(r.session_stages.mean);
+    agg.total_attempts += r.stats.attempts;
+    agg.total_blocked_capacity += r.stats.blocked_capacity;
+    agg.total_blocked_placement += r.stats.blocked_placement;
+    agg.functional_ok = agg.functional_ok && r.functional_ok;
+  });
+  return agg;
+}
+
+}  // namespace confnet::sim

@@ -1,0 +1,36 @@
+// Multi-replication experiment runner: independent seeds, aggregated
+// confidence intervals, parallel execution on the shared thread pool.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/teletraffic.hpp"
+
+namespace confnet::sim {
+
+/// Builds a fresh network design for one replication (designs are stateful
+/// and not shared across replications).
+using DesignFactory =
+    std::function<std::unique_ptr<conf::ConferenceNetworkBase>()>;
+
+struct ReplicatedResult {
+  util::RunningStats blocking;          // blocking probability per rep
+  util::RunningStats carried;           // mean active sessions per rep
+  util::RunningStats busy_ports;        // mean busy ports per rep
+  util::RunningStats stages;            // mean stages per rep
+  std::uint64_t total_attempts = 0;
+  std::uint64_t total_blocked_capacity = 0;
+  std::uint64_t total_blocked_placement = 0;
+  bool functional_ok = true;
+};
+
+/// Run `replications` independent copies of the experiment. Seeds are
+/// config.seed + replication index. Runs in parallel when the pool has
+/// more than one worker.
+[[nodiscard]] ReplicatedResult run_replications(
+    const DesignFactory& factory, TeletrafficConfig config,
+    std::size_t replications);
+
+}  // namespace confnet::sim

@@ -1,0 +1,205 @@
+#include "sim/teletraffic.hpp"
+
+#include <memory>
+
+#include "sim/des.hpp"
+#include "util/error.hpp"
+
+namespace confnet::sim {
+
+namespace {
+
+/// Talk-spurt state of one live session.
+struct SpurtState {
+  bool alive = true;
+  u32 talking = 0;
+  u32 members = 0;
+  double last_change = 0.0;
+  // Time-weighted sum of concurrent-speaker count, for the mean.
+  double weighted_speakers = 0.0;
+  double observed_time = 0.0;
+};
+
+}  // namespace
+
+TeletrafficResult run_teletraffic(conf::ConferenceNetworkBase& network,
+                                  const TeletrafficConfig& config) {
+  expects(config.duration > 0.0 && config.warmup >= 0.0 &&
+              config.warmup < config.duration,
+          "teletraffic needs 0 <= warmup < duration");
+  expects(network.active_count() == 0,
+          "teletraffic needs a fresh network design");
+
+  Simulator des;
+  util::Rng rng(config.seed);
+  conf::SessionManager manager(network, config.policy);
+  TalkSpurtProcess spurts(config.mean_talk, config.mean_silence);
+
+  TeletrafficResult result;
+  result.offered_erlangs = config.traffic.offered_erlangs();
+
+  // Time-weighted occupancy accounting (post-warmup).
+  double last_t = config.warmup;
+  double session_area = 0.0;
+  double port_area = 0.0;
+  u32 busy_ports = 0;
+  conf::SessionStats warm_start;  // stats snapshot at warmup end
+  bool warm_snapshotted = false;
+  util::RunningStats stages;
+  util::RunningStats speakers;
+
+  const auto advance_area = [&](double now) {
+    if (now <= last_t) return;
+    session_area += manager.active_sessions() * (now - last_t);
+    port_area += static_cast<double>(busy_ports) * (now - last_t);
+    last_t = now;
+  };
+  const auto maybe_snapshot = [&] {
+    if (!warm_snapshotted && des.now() >= config.warmup) {
+      warm_start = manager.stats();
+      warm_snapshotted = true;
+      last_t = des.now();
+      session_area = port_area = 0.0;
+    }
+  };
+
+  // --- Talk-spurt machinery -------------------------------------------
+  std::function<void(std::shared_ptr<SpurtState>, bool)> schedule_toggle =
+      [&](std::shared_ptr<SpurtState> st, bool to_talking) {
+        // Wait out the state being left: a silence before talking starts,
+        // a talk spurt before it ends.
+        const double dt = spurts.next_duration(!to_talking, rng);
+        des.schedule_in(dt, [&, st, to_talking] {
+          if (!st->alive) return;
+          const double now = des.now();
+          if (now >= config.warmup) {
+            st->weighted_speakers += st->talking * (now - st->last_change);
+            st->observed_time += now - st->last_change;
+          }
+          st->last_change = now;
+          if (to_talking) {
+            ++st->talking;
+            schedule_toggle(st, false);
+          } else {
+            expects(st->talking > 0, "talk spurt underflow");
+            --st->talking;
+            schedule_toggle(st, true);
+          }
+        });
+      };
+
+  // --- Membership churn --------------------------------------------------
+  // Per live session, joins and leaves arrive as independent Poisson
+  // processes; the session's departure invalidates the chain via `alive`.
+  std::function<void(u32, std::shared_ptr<bool>)> schedule_churn =
+      [&](u32 sid, std::shared_ptr<bool> alive) {
+        const double total = config.join_rate + config.leave_rate;
+        if (total <= 0.0) return;
+        des.schedule_in(rng.exponential(total), [&, sid, alive] {
+          if (!*alive) return;
+          const bool join =
+              rng.uniform() * (config.join_rate + config.leave_rate) <
+              config.join_rate;
+          if (join) {
+            const auto [r, port] = manager.join(sid, rng);
+            if (r == conf::OpenResult::kAccepted) ++busy_ports;
+          } else {
+            const auto& members = manager.members_of(sid);
+            if (members.size() > 2) {
+              const u32 port = members[rng.below(members.size())];
+              if (manager.leave(sid, port)) --busy_ports;
+            }
+          }
+          schedule_churn(sid, alive);
+        });
+      };
+
+  // --- Arrival process -------------------------------------------------
+  std::function<void()> arrival = [&] {
+    maybe_snapshot();
+    advance_area(des.now());
+    const u32 size = config.traffic.conference_size(rng);
+    const auto [outcome, session] = manager.open(size, rng);
+    if (outcome == conf::OpenResult::kAccepted) {
+      busy_ports += size;
+      const u32 sid = *session;
+      if (des.now() >= config.warmup)
+        stages.add(network.stages_for(manager.handle_of(sid)));
+
+      std::shared_ptr<SpurtState> st;
+      if (config.talk_spurts) {
+        st = std::make_shared<SpurtState>();
+        st->members = size;
+        st->last_change = des.now();
+        for (u32 m = 0; m < size; ++m) schedule_toggle(st, true);
+      }
+
+      std::shared_ptr<bool> alive;
+      if (config.membership_churn) {
+        alive = std::make_shared<bool>(true);
+        schedule_churn(sid, alive);
+      }
+
+      const double hold = config.traffic.holding_time(rng);
+      des.schedule_in(hold, [&, sid, st, alive] {
+        maybe_snapshot();
+        advance_area(des.now());
+        if (alive) *alive = false;
+        const u32 final_size =
+            static_cast<u32>(manager.members_of(sid).size());
+        manager.close(sid);
+        busy_ports -= final_size;
+        if (st) {
+          st->alive = false;
+          const double now = des.now();
+          if (now >= config.warmup) {
+            st->weighted_speakers += st->talking * (now - st->last_change);
+            st->observed_time += now - st->last_change;
+          }
+          if (st->observed_time > 0.0)
+            speakers.add(st->weighted_speakers / st->observed_time);
+        }
+      });
+    }
+    des.schedule_in(config.traffic.next_interarrival(rng), arrival);
+  };
+  des.schedule_in(config.traffic.next_interarrival(rng), arrival);
+
+  // --- Periodic functional verification --------------------------------
+  std::function<void()> verify = [&] {
+    ++result.functional_checks;
+    if (!network.verify_delivery()) result.functional_ok = false;
+    des.schedule_in(config.verify_interval, verify);
+  };
+  if (config.verify_functional) des.schedule_in(config.verify_interval, verify);
+
+  des.run_until(config.duration);
+  maybe_snapshot();
+  advance_area(config.duration);
+
+  // --- Reduce -----------------------------------------------------------
+  const conf::SessionStats total = manager.stats();
+  result.stats.attempts = total.attempts - warm_start.attempts;
+  result.stats.accepted = total.accepted - warm_start.accepted;
+  result.stats.blocked_placement =
+      total.blocked_placement - warm_start.blocked_placement;
+  result.stats.blocked_capacity =
+      total.blocked_capacity - warm_start.blocked_capacity;
+  result.blocking_probability = result.stats.blocking_probability();
+
+  const double observed = config.duration - config.warmup;
+  result.mean_active_sessions = session_area / observed;
+  result.mean_busy_ports = port_area / observed;
+  result.littles_law_estimate =
+      (static_cast<double>(result.stats.accepted) / observed) *
+      config.traffic.mean_holding;
+  result.session_stages = util::summarize(stages);
+  result.speaker_concurrency = util::summarize(speakers);
+  result.events = des.events_processed();
+  result.joins = total.joins;
+  result.joins_blocked = total.joins_blocked;
+  result.leaves = total.leaves;
+  return result;
+}
+
+}  // namespace confnet::sim

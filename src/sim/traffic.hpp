@@ -1,0 +1,65 @@
+// Teletraffic workload generators: Poisson conference arrivals with
+// exponential holding times (the standard Erlang model for switched
+// conference traffic) plus an on/off talk-spurt process per member for the
+// latency/utilization figures.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace confnet::sim {
+
+using u32 = std::uint32_t;
+
+/// Conference session arrival/holding/size model.
+struct TrafficModel {
+  double arrival_rate = 1.0;     // conferences per unit time (Poisson)
+  double mean_holding = 1.0;     // mean session duration (exponential)
+  u32 min_size = 2;              // uniform conference size range
+  u32 max_size = 8;
+
+  /// Offered load in Erlangs (mean simultaneous sessions if never blocked).
+  [[nodiscard]] double offered_erlangs() const noexcept {
+    return arrival_rate * mean_holding;
+  }
+  /// Mean ports demanded at once.
+  [[nodiscard]] double offered_port_load() const noexcept {
+    return offered_erlangs() * (min_size + max_size) / 2.0;
+  }
+
+  [[nodiscard]] double next_interarrival(util::Rng& rng) const {
+    return rng.exponential(arrival_rate);
+  }
+  [[nodiscard]] double holding_time(util::Rng& rng) const {
+    return rng.exponential(1.0 / mean_holding);
+  }
+  [[nodiscard]] u32 conference_size(util::Rng& rng) const {
+    return static_cast<u32>(rng.between(min_size, max_size));
+  }
+};
+
+/// Per-member alternating talk/silence process (exponential spurts). Used
+/// to estimate how often the combining fabric is actually mixing k
+/// concurrent speakers.
+class TalkSpurtProcess {
+ public:
+  TalkSpurtProcess(double mean_talk, double mean_silence)
+      : mean_talk_(mean_talk), mean_silence_(mean_silence) {}
+
+  /// Probability a member is talking at a random instant.
+  [[nodiscard]] double activity_factor() const noexcept {
+    return mean_talk_ / (mean_talk_ + mean_silence_);
+  }
+
+  /// Duration of the next state; `talking` is the state being entered.
+  [[nodiscard]] double next_duration(bool talking, util::Rng& rng) const {
+    return rng.exponential(1.0 / (talking ? mean_talk_ : mean_silence_));
+  }
+
+ private:
+  double mean_talk_;
+  double mean_silence_;
+};
+
+}  // namespace confnet::sim

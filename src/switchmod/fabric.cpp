@@ -1,0 +1,152 @@
+#include "switchmod/fabric.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace confnet::sw {
+
+namespace {
+/// Index of `row` in a sorted vector, or npos.
+std::size_t index_of(const std::vector<u32>& sorted_rows, u32 row) {
+  const auto it =
+      std::lower_bound(sorted_rows.begin(), sorted_rows.end(), row);
+  if (it == sorted_rows.end() || *it != row)
+    return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - sorted_rows.begin());
+}
+}  // namespace
+
+Fabric::Fabric(const min::Network& net, FabricConfig config)
+    : net_(net), config_(config) {
+  expects(config_.channels_per_link >= 1,
+          "Fabric needs at least one channel per link");
+}
+
+EvalReport Fabric::evaluate(const std::vector<GroupRealization>& groups) const {
+  const u32 N = net_.size();
+  const u32 n = net_.n();
+
+  // --- Validation: disjoint members, well-formed link sets. ---
+  {
+    std::vector<int> owner(N, -1);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      expects(groups[g].links.size() == n + 1,
+              "GroupRealization must carry n+1 link levels");
+      expects(std::is_sorted(groups[g].members.begin(),
+                             groups[g].members.end()),
+              "GroupRealization members must be sorted");
+      for (u32 m : groups[g].members) {
+        expects(m < N, "member row out of range");
+        expects(owner[m] < 0, "conferences must be pairwise disjoint");
+        owner[m] = static_cast<int>(g);
+      }
+      for (u32 level = 0; level <= n; ++level) {
+        const auto& rows = groups[g].links[level];
+        expects(std::is_sorted(rows.begin(), rows.end()),
+                "GroupRealization link rows must be sorted");
+        for (u32 r : rows) expects(r < N, "link row out of range");
+      }
+    }
+  }
+
+  EvalReport report;
+  report.max_link_load.assign(n + 1, 0);
+
+  // --- Channel accounting. ---
+  std::vector<std::vector<u32>> load(n + 1, std::vector<u32>(N, 0));
+  for (const auto& g : groups)
+    for (u32 level = 0; level <= n; ++level)
+      for (u32 r : g.links[level]) ++load[level][r];
+  for (u32 level = 0; level <= n; ++level) {
+    for (u32 r = 0; r < N; ++r) {
+      report.max_link_load[level] =
+          std::max(report.max_link_load[level], load[level][r]);
+      if (load[level][r] > config_.channels_per_link)
+        report.overflows.push_back(Overflow{level, r, load[level][r]});
+    }
+  }
+
+  // --- Signal propagation, group by group. ---
+  report.delivered.resize(groups.size());
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const auto& g = groups[gi];
+    std::vector<std::vector<MemberSet>> sig(n + 1);
+    for (u32 level = 0; level <= n; ++level)
+      sig[level].resize(g.links[level].size());
+
+    // Injection: a level-0 link carries its member's own signal.
+    for (std::size_t i = 0; i < g.links[0].size(); ++i) {
+      const u32 row = g.links[0][i];
+      if (std::binary_search(g.members.begin(), g.members.end(), row))
+        sig[0][i] = MemberSet::single(row);
+    }
+
+    // Sweep forward: each used link mixes its used predecessors.
+    for (u32 level = 1; level <= n; ++level) {
+      for (std::size_t i = 0; i < g.links[level].size(); ++i) {
+        const u32 row = g.links[level][i];
+        const auto preds = net_.predecessors(level, row);
+        u32 feeding = 0;
+        for (u32 q : preds) {
+          const std::size_t pi = index_of(g.links[level - 1], q);
+          if (pi == static_cast<std::size_t>(-1)) continue;
+          if (sig[level - 1][pi].empty()) continue;
+          sig[level][i].combine(sig[level - 1][pi]);
+          ++feeding;
+        }
+        if (feeding == 2) {
+          ++report.fan_in_ops;
+          if (!config_.fan_in) ++report.capability_violations;
+        }
+      }
+    }
+
+    // Fan-out accounting: a used link feeding both its successors.
+    for (u32 level = 0; level < n; ++level) {
+      for (std::size_t i = 0; i < g.links[level].size(); ++i) {
+        if (sig[level][i].empty()) continue;
+        const u32 row = g.links[level][i];
+        const auto succs = net_.successors(level, row);
+        u32 fed = 0;
+        for (u32 q : succs) {
+          if (index_of(g.links[level + 1], q) != static_cast<std::size_t>(-1))
+            ++fed;
+        }
+        if (fed == 2) {
+          ++report.fan_out_ops;
+          if (!config_.fan_out) ++report.capability_violations;
+        }
+      }
+    }
+
+    // Delivery: relay taps when present, otherwise level-n member rows.
+    auto& delivered = report.delivered[gi];
+    delivered.resize(g.members.size());
+    if (!g.taps.empty()) {
+      expects(g.taps.size() == g.members.size(),
+              "relay taps must cover every member");
+      for (const auto& tap : g.taps) {
+        const std::size_t mi = index_of(g.members, tap.output);
+        expects(mi != static_cast<std::size_t>(-1),
+                "tap output is not a member");
+        expects(tap.tap_level <= n, "tap level out of range");
+        const std::size_t li = index_of(g.links[tap.tap_level], tap.output);
+        expects(li != static_cast<std::size_t>(-1),
+                "tap link is not part of the group's subnetwork");
+        delivered[mi] = sig[tap.tap_level][li];
+      }
+    } else {
+      for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
+        const std::size_t li = index_of(g.links[n], g.members[mi]);
+        expects(li != static_cast<std::size_t>(-1),
+                "member output missing from level-n links");
+        delivered[mi] = sig[n][li];
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace confnet::sw

@@ -1,0 +1,46 @@
+// Output multiplexer model for the enhanced (Yang 2001) design: each
+// network output owns an (n+1)-to-1 multiplexer that can tap the link of
+// its own row at any level, relaying an internal stage output directly to
+// the member. Modeled explicitly so the cost tables and the relay fabric
+// share one definition.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace confnet::sw {
+
+class Multiplexer {
+ public:
+  /// A mux with `input_count` selectable inputs.
+  explicit Multiplexer(std::uint32_t input_count) : inputs_(input_count) {
+    expects(input_count >= 1, "Multiplexer needs at least one input");
+  }
+
+  [[nodiscard]] std::uint32_t input_count() const noexcept { return inputs_; }
+
+  /// Select an input (or pass nullopt to go idle).
+  void select(std::optional<std::uint32_t> input) {
+    if (input) expects(*input < inputs_, "mux selection out of range");
+    selected_ = input;
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> selected() const noexcept {
+    return selected_;
+  }
+
+  /// 2-input gate-equivalents of a k-to-1 mux (k-1 two-input muxes).
+  [[nodiscard]] static std::uint64_t gate_cost(std::uint32_t input_count) {
+    expects(input_count >= 1, "gate_cost needs at least one input");
+    return input_count - 1;
+  }
+
+ private:
+  std::uint32_t inputs_;
+  std::optional<std::uint32_t> selected_;
+};
+
+}  // namespace confnet::sw

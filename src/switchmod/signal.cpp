@@ -1,0 +1,25 @@
+#include "switchmod/signal.hpp"
+
+#include <algorithm>
+
+namespace confnet::sw {
+
+MemberSet::MemberSet(std::vector<u32> members) : members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+}
+
+bool MemberSet::contains(u32 m) const noexcept {
+  return std::binary_search(members_.begin(), members_.end(), m);
+}
+
+void MemberSet::combine(const MemberSet& other) {
+  std::vector<u32> merged;
+  merged.reserve(members_.size() + other.members_.size());
+  std::set_union(members_.begin(), members_.end(), other.members_.begin(),
+                 other.members_.end(), std::back_inserter(merged));
+  members_ = std::move(merged);
+}
+
+}  // namespace confnet::sw

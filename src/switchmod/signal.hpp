@@ -1,0 +1,46 @@
+// Combining-signal algebra.
+//
+// A conference signal is modeled as the set of member ids whose talk paths
+// have been mixed into it (audio mixing is associative/commutative, so a
+// set is the exact abstraction). Fan-in = set union. Functional
+// verification then reduces to: every member output of conference G must
+// deliver exactly the set G.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace confnet::sw {
+
+using u32 = std::uint32_t;
+
+/// Sorted, duplicate-free set of member ids.
+class MemberSet {
+ public:
+  MemberSet() = default;
+  /// Takes arbitrary order, sorts and dedups.
+  explicit MemberSet(std::vector<u32> members);
+
+  [[nodiscard]] static MemberSet single(u32 member) {
+    return MemberSet(std::vector<u32>{member});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] const std::vector<u32>& values() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] bool contains(u32 m) const noexcept;
+
+  /// Fan-in: mix another signal into this one (set union).
+  void combine(const MemberSet& other);
+
+  friend bool operator==(const MemberSet& a, const MemberSet& b) {
+    return a.members_ == b.members_;
+  }
+
+ private:
+  std::vector<u32> members_;
+};
+
+}  // namespace confnet::sw

@@ -1,0 +1,33 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace confnet::util {
+
+std::string bar_chart(
+    const std::vector<std::pair<std::string, double>>& series,
+    std::size_t width) {
+  expects(width >= 1, "bar chart needs positive width");
+  double peak = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : series) {
+    expects(value >= 0.0, "bar chart values must be non-negative");
+    peak = std::max(peak, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, value] : series) {
+    const auto bars =
+        peak > 0.0 ? static_cast<std::size_t>(value / peak * width) : 0;
+    os << "  " << label << std::string(label_width - label.size(), ' ')
+       << " |" << std::string(bars, '#') << ' ' << format_double(value)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace confnet::util

@@ -1,0 +1,18 @@
+// ASCII bar charts: the bench binaries print figure-style series as
+// horizontal bars so the "figures" of EXPERIMENTS.md are readable straight
+// from a terminal capture.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace confnet::util {
+
+/// Render label/value pairs as left-aligned bars scaled to `width` columns.
+/// Non-negative values only; the longest bar spans the full width.
+[[nodiscard]] std::string bar_chart(
+    const std::vector<std::pair<std::string, double>>& series,
+    std::size_t width = 48);
+
+}  // namespace confnet::util

@@ -1,0 +1,121 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <iostream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace confnet::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_flag(const std::string& name, bool default_value,
+                   const std::string& help) {
+  options_[name] = Option{Kind::kBool, help, default_value ? "true" : "false"};
+}
+
+void Cli::add_int(const std::string& name, std::int64_t default_value,
+                  const std::string& help) {
+  options_[name] = Option{Kind::kInt, help, std::to_string(default_value)};
+}
+
+void Cli::add_double(const std::string& name, double default_value,
+                     const std::string& help) {
+  options_[name] = Option{Kind::kDouble, help, std::to_string(default_value)};
+}
+
+void Cli::add_string(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  options_[name] = Option{Kind::kString, help, default_value};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) throw Error("unknown flag: --" + name);
+    if (!has_value) {
+      if (it->second.kind == Kind::kBool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) throw Error("flag --" + name + " needs a value");
+        value = argv[++i];
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const Cli::Option& Cli::find(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  expects(it != options_.end(), "flag was never registered");
+  expects(it->second.kind == kind, "flag accessed with wrong type");
+  return it->second;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const std::string& v = find(name, Kind::kBool).value;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw Error("flag --" + name + " has non-boolean value '" + v + "'");
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string& v = find(name, Kind::kInt).value;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size())
+    throw Error("flag --" + name + " has non-integer value '" + v + "'");
+  return out;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string& v = find(name, Kind::kDouble).value;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw Error("");
+    return out;
+  } catch (...) {
+    throw Error("flag --" + name + " has non-numeric value '" + v + "'");
+  }
+}
+
+std::string Cli::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+void Cli::print_usage(std::ostream& os) const {
+  os << program_ << " — " << description_ << "\n\nflags:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    switch (opt.kind) {
+      case Kind::kBool: os << " (bool)"; break;
+      case Kind::kInt: os << " <int>"; break;
+      case Kind::kDouble: os << " <float>"; break;
+      case Kind::kString: os << " <string>"; break;
+    }
+    os << "  " << opt.help << " [default: " << opt.value << "]\n";
+  }
+}
+
+}  // namespace confnet::util

@@ -1,0 +1,63 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// Supports `--key=value`, `--key value` and boolean `--flag` forms plus an
+// auto-generated `--help`. Unknown flags are an error so typos do not
+// silently fall back to defaults mid-experiment.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace confnet::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register flags before parse(). `help` is shown by --help.
+  void add_flag(const std::string& name, bool default_value,
+                const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (usage printed) and
+  /// throws confnet::Error on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  void print_usage(std::ostream& os) const;
+
+ private:
+  enum class Kind { kBool, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; typed getters convert
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace confnet::util

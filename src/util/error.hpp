@@ -1,0 +1,49 @@
+// Error handling primitives for confnet.
+//
+// The library reports contract violations by throwing `confnet::Error`
+// (never by aborting): the analyzers explore adversarial inputs and a bad
+// parameter must be recoverable by callers such as the CLI examples.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace confnet {
+
+/// Exception type thrown by all confnet components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const std::source_location& loc) {
+  throw Error(std::string(kind) + " violated: `" + expr + "` at " +
+              loc.file_name() + ":" + std::to_string(loc.line()) + " in " +
+              loc.function_name());
+}
+}  // namespace detail
+
+/// Precondition check (C++ Core Guidelines I.6). Throws `Error` on failure.
+/// constexpr so the bit helpers remain usable in constant expressions (a
+/// violated check in a constant expression is a compile error).
+constexpr void expects(bool cond, const char* expr = "precondition",
+                       const std::source_location loc =
+                           std::source_location::current()) {
+  if (!cond) detail::fail("precondition", expr, loc);
+}
+
+/// Postcondition / invariant check (I.8). Throws `Error` on failure.
+constexpr void ensures(bool cond, const char* expr = "postcondition",
+                       const std::source_location loc =
+                           std::source_location::current()) {
+  if (!cond) detail::fail("postcondition", expr, loc);
+}
+
+}  // namespace confnet
+
+/// Convenience macros that capture the failing expression text.
+#define CONFNET_EXPECTS(cond) ::confnet::expects((cond), #cond)
+#define CONFNET_ENSURES(cond) ::confnet::ensures((cond), #cond)

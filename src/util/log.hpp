@@ -1,0 +1,47 @@
+// Leveled stderr logging. Default level is kWarn so library output stays
+// quiet inside tests and benches; examples raise it to kInfo.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace confnet::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit a single log line (thread safe).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace confnet::util
+
+#define CONFNET_LOG(level)                                       \
+  if (static_cast<int>(level) < static_cast<int>(::confnet::util::log_level())) \
+    ;                                                            \
+  else                                                           \
+    ::confnet::util::detail::LogStream(level)
+
+#define CONFNET_DEBUG CONFNET_LOG(::confnet::util::LogLevel::kDebug)
+#define CONFNET_INFO CONFNET_LOG(::confnet::util::LogLevel::kInfo)
+#define CONFNET_WARN CONFNET_LOG(::confnet::util::LogLevel::kWarn)
+#define CONFNET_ERROR CONFNET_LOG(::confnet::util::LogLevel::kError)

@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace confnet::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& o) noexcept {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double d = o.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += d * nb / nt;
+  m2_ += o.m2_ + d * d * na * nb / nt;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci_halfwidth(double z) const noexcept {
+  if (n_ < 2) return 0.0;
+  return z * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void SampleSet::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const noexcept {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double SampleSet::quantile(double q) const {
+  expects(!xs_.empty(), "SampleSet::quantile on empty set");
+  expects(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+  sort_if_needed();
+  if (xs_.size() == 1) return xs_[0];
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+double SampleSet::min() const {
+  expects(!xs_.empty(), "SampleSet::min on empty set");
+  sort_if_needed();
+  return xs_.front();
+}
+
+double SampleSet::max() const {
+  expects(!xs_.empty(), "SampleSet::max on empty set");
+  sort_if_needed();
+  return xs_.back();
+}
+
+std::vector<SampleSet::HistogramBin> SampleSet::histogram(
+    std::size_t bins) const {
+  expects(bins >= 1, "histogram requires bins >= 1");
+  std::vector<HistogramBin> out;
+  if (xs_.empty()) return out;
+  sort_if_needed();
+  const double lo = xs_.front();
+  const double hi = xs_.back();
+  const double width = (hi > lo) ? (hi - lo) / static_cast<double>(bins) : 1.0;
+  out.resize(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out[b].lo = lo + width * static_cast<double>(b);
+    out[b].hi = out[b].lo + width;
+    out[b].count = 0;
+  }
+  for (double x : xs_) {
+    auto b = static_cast<std::size_t>((x - lo) / width);
+    if (b >= bins) b = bins - 1;
+    ++out[b].count;
+  }
+  return out;
+}
+
+Summary summarize(const RunningStats& s) noexcept {
+  Summary out;
+  out.n = s.count();
+  out.mean = s.mean();
+  out.stddev = s.stddev();
+  out.ci95 = s.ci_halfwidth();
+  out.min = s.min();
+  out.max = s.max();
+  return out;
+}
+
+std::string format_double(double x, int precision) {
+  char buf[64];
+  const double ax = std::abs(x);
+  if (x != 0.0 && (ax >= 1e7 || ax < 1e-4)) {
+    std::snprintf(buf, sizeof buf, "%.*e", precision, x);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*g", precision + 2, x);
+  }
+  return buf;
+}
+
+}  // namespace confnet::util

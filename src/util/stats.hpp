@@ -1,0 +1,80 @@
+// Streaming statistics, quantiles and confidence intervals for experiment
+// harnesses. Replication results from the DES and the Monte-Carlo
+// multiplicity search are reduced through `RunningStats`/`SampleSet`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confnet::util {
+
+/// Welford online mean/variance accumulator. Numerically stable; merging two
+/// accumulators (parallel reduction) is supported.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (Chan et al. parallel variance formula).
+  void merge(const RunningStats& o) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the normal-approximation confidence interval at the given
+  /// z (1.96 = 95%). Zero when fewer than two samples.
+  [[nodiscard]] double ci_halfwidth(double z = 1.96) const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains all samples: exact quantiles and histograms for figures.
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double quantile(double q) const;  // q in [0,1], linear interp
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  struct HistogramBin {
+    double lo, hi;
+    std::size_t count;
+  };
+  /// Equal-width histogram over [min, max] with `bins` bins.
+  [[nodiscard]] std::vector<HistogramBin> histogram(std::size_t bins) const;
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void sort_if_needed() const;
+};
+
+/// One summary row printed by experiment harnesses.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Reduce a RunningStats into a printable Summary.
+[[nodiscard]] Summary summarize(const RunningStats& s) noexcept;
+
+/// Format a double compactly ("1.23e+06" only when needed).
+[[nodiscard]] std::string format_double(double x, int precision = 4);
+
+}  // namespace confnet::util

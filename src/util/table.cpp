@@ -1,0 +1,100 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace confnet::util {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  expects(!columns_.empty(), "Table requires at least one column");
+}
+
+Table& Table::row() {
+  if (!rows_.empty())
+    expects(rows_.back().size() == columns_.size(),
+            "previous table row left incomplete");
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  expects(!rows_.empty(), "Table::cell before Table::row");
+  expects(rows_.back().size() < columns_.size(), "too many cells in row");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(double v, int precision) {
+  return cell(format_double(v, precision));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  const auto hr = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << "| " << v << std::string(widths[c] - v.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  hr();
+  line(columns_);
+  hr();
+  for (const auto& r : rows_) line(r);
+  hr();
+}
+
+namespace {
+std::string csv_escape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char ch : v) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(r[c]);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace confnet::util

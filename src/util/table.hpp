@@ -1,0 +1,45 @@
+// Aligned-text and CSV table emission for the bench harness.
+//
+// Every experiment binary prints (a) a human-readable aligned table that
+// mirrors the paper's table/figure layout and (b) optionally the same rows
+// as CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace confnet::util {
+
+class Table {
+ public:
+  /// `title` is printed above the table; `columns` are the header labels.
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Start a new row. Subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(std::int64_t v);
+  Table& cell(std::uint64_t v);
+  Table& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  Table& cell(unsigned v) { return cell(static_cast<std::uint64_t>(v)); }
+  Table& cell(double v, int precision = 4);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace confnet::util

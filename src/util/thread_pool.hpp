@@ -1,0 +1,65 @@
+// Fixed-size worker pool for embarrassingly parallel experiment sweeps
+// (independent DES replications, Monte-Carlo multiplicity trials).
+//
+// The pool follows the shared-memory fork/join idiom of the OpenMP examples
+// this project's guides reference, expressed with std::jthread and a plain
+// mutex/condvar task queue so the library has no extra dependencies.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace confnet::util {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run `fn(i)` for i in [0, count), blocking until all complete.
+  /// Work is chunked to keep task overhead negligible. Exceptions from any
+  /// invocation are rethrown (first one wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Process-wide pool shared by benches and the sim runner.
+ThreadPool& global_pool();
+
+}  // namespace confnet::util

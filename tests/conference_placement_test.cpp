@@ -1,0 +1,193 @@
+// Buddy allocator invariants and the three placement policies.
+#include "conference/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace confnet::conf {
+namespace {
+
+TEST(Buddy, AllocatesAligned) {
+  BuddyAllocator buddy(4);
+  for (u32 order : {0u, 1u, 2u, 3u}) {
+    const auto base = buddy.allocate(order);
+    ASSERT_TRUE(base.has_value());
+    EXPECT_EQ(*base % (u32{1} << order), 0u);
+    buddy.release(*base, order);
+  }
+}
+
+TEST(Buddy, DisjointAllocations) {
+  BuddyAllocator buddy(4);
+  std::set<u32> taken;
+  std::vector<std::pair<u32, u32>> blocks;
+  while (true) {
+    const auto base = buddy.allocate(1);
+    if (!base) break;
+    for (u32 p = *base; p < *base + 2; ++p) {
+      EXPECT_FALSE(taken.count(p));
+      taken.insert(p);
+    }
+    blocks.emplace_back(*base, 1);
+  }
+  EXPECT_EQ(taken.size(), 16u);  // fully packed with pairs
+  for (auto [b, o] : blocks) buddy.release(b, o);
+  EXPECT_EQ(buddy.free_ports(), 16u);
+}
+
+TEST(Buddy, CoalescingRestoresBigBlocks) {
+  BuddyAllocator buddy(3);
+  const auto a = buddy.allocate(2);
+  const auto b = buddy.allocate(2);
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(buddy.allocate(2).has_value());
+  buddy.release(*a, 2);
+  buddy.release(*b, 2);
+  // After coalescing a full-size block must be allocatable again.
+  const auto whole = buddy.allocate(3);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, 0u);
+}
+
+TEST(Buddy, FragmentationBlocksLargeAllocations) {
+  BuddyAllocator buddy(3);
+  // Take all four pair blocks, free two non-buddy ones -> a 4-block is
+  // still impossible.
+  const auto b0 = buddy.allocate(1);
+  const auto b1 = buddy.allocate(1);
+  const auto b2 = buddy.allocate(1);
+  const auto b3 = buddy.allocate(1);
+  ASSERT_TRUE(b0 && b1 && b2 && b3);
+  // Free two blocks that are not buddies of each other.
+  std::vector<u32> bases{*b0, *b1, *b2, *b3};
+  std::sort(bases.begin(), bases.end());
+  buddy.release(bases[0], 1);
+  buddy.release(bases[2], 1);
+  EXPECT_EQ(buddy.free_ports(), 4u);
+  EXPECT_FALSE(buddy.can_allocate(2));
+  EXPECT_FALSE(buddy.allocate(2).has_value());
+}
+
+TEST(Buddy, DoubleFreeDetected) {
+  BuddyAllocator buddy(3);
+  const auto a = buddy.allocate(1);
+  buddy.release(*a, 1);
+  EXPECT_THROW(buddy.release(*a, 1), Error);
+}
+
+TEST(Buddy, MisalignedReleaseThrows) {
+  BuddyAllocator buddy(3);
+  EXPECT_THROW(buddy.release(1, 1), Error);
+}
+
+class PlacerSuite : public ::testing::TestWithParam<PlacementPolicy> {};
+
+TEST_P(PlacerSuite, PlacesDisjointPorts) {
+  util::Rng rng(1);
+  PortPlacer placer(4, GetParam());
+  std::set<u32> taken;
+  std::vector<std::vector<u32>> placements;
+  for (int i = 0; i < 4; ++i) {
+    auto ports = placer.place(3, rng);
+    ASSERT_TRUE(ports.has_value());
+    EXPECT_EQ(ports->size(), 3u);
+    EXPECT_TRUE(std::is_sorted(ports->begin(), ports->end()));
+    for (u32 p : *ports) {
+      EXPECT_LT(p, 16u);
+      EXPECT_FALSE(taken.count(p));
+      taken.insert(p);
+    }
+    placements.push_back(std::move(*ports));
+  }
+  for (const auto& p : placements) placer.release(p);
+  EXPECT_EQ(placer.free_ports(), 16u);
+}
+
+TEST_P(PlacerSuite, ReleaseMakesRoomAgain) {
+  util::Rng rng(2);
+  PortPlacer placer(3, GetParam());
+  std::vector<std::vector<u32>> all;
+  while (auto p = placer.place(2, rng)) all.push_back(std::move(*p));
+  EXPECT_GE(all.size(), 1u);
+  const auto count = all.size();
+  for (const auto& p : all) placer.release(p);
+  // The same number of conferences fits again.
+  for (std::size_t i = 0; i < count; ++i)
+    EXPECT_TRUE(placer.place(2, rng).has_value());
+}
+
+TEST_P(PlacerSuite, RejectsWhenFull) {
+  util::Rng rng(3);
+  PortPlacer placer(2, GetParam());
+  EXPECT_TRUE(placer.place(4, rng).has_value());
+  EXPECT_FALSE(placer.place(2, rng).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PlacerSuite,
+                         ::testing::Values(PlacementPolicy::kBuddy,
+                                           PlacementPolicy::kFirstFit,
+                                           PlacementPolicy::kRandom),
+                         [](const auto& info) {
+                           std::string s(placement_name(info.param));
+                           for (auto& c : s)
+                             if (c == '-') c = '_';
+                           return s;
+                         });
+
+TEST(BuddyPlacement, ProducesAlignedBlocks) {
+  util::Rng rng(4);
+  PortPlacer placer(5, PlacementPolicy::kBuddy);
+  for (u32 size : {2u, 3u, 4u, 5u}) {
+    const auto ports = placer.place(size, rng);
+    ASSERT_TRUE(ports.has_value());
+    const u32 block = u32{1} << util::log2_ceil(size);
+    EXPECT_EQ(ports->front() % block, 0u);
+    EXPECT_LT(ports->back(), ports->front() + block);
+  }
+}
+
+TEST(FirstFitPlacement, TakesLowestPorts) {
+  util::Rng rng(5);
+  PortPlacer placer(3, PlacementPolicy::kFirstFit);
+  const auto a = placer.place(3, rng);
+  EXPECT_EQ(*a, (std::vector<u32>{0, 1, 2}));
+  const auto b = placer.place(2, rng);
+  EXPECT_EQ(*b, (std::vector<u32>{3, 4}));
+  placer.release(*a);
+  const auto c = placer.place(2, rng);
+  EXPECT_EQ(*c, (std::vector<u32>{0, 1}));
+}
+
+TEST(BuddyPlacement, SurvivesChurnWithoutLeaks) {
+  util::Rng rng(6);
+  PortPlacer placer(5, PlacementPolicy::kBuddy);
+  std::vector<std::vector<u32>> live;
+  for (int step = 0; step < 500; ++step) {
+    if (!live.empty() && rng.chance(0.45)) {
+      const auto idx = static_cast<std::size_t>(rng.below(live.size()));
+      placer.release(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      const u32 size = 2 + static_cast<u32>(rng.below(7));
+      if (auto p = placer.place(size, rng)) live.push_back(std::move(*p));
+    }
+  }
+  for (const auto& p : live) placer.release(p);
+  EXPECT_EQ(placer.free_ports(), 32u);
+  // Everything coalesced: a full-network conference fits.
+  EXPECT_TRUE(placer.place(32, rng).has_value());
+}
+
+TEST(Placement, SizeValidation) {
+  util::Rng rng(7);
+  PortPlacer placer(3, PlacementPolicy::kFirstFit);
+  EXPECT_THROW((void)placer.place(1, rng), Error);
+  EXPECT_THROW(placer.release({}), Error);
+}
+
+}  // namespace
+}  // namespace confnet::conf

@@ -1,0 +1,155 @@
+// Fault injection: fault-set bookkeeping, path/conference survival, and
+// the structural fragility facts of unique-path networks.
+#include "min/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "conference/subnetwork.hpp"
+#include "min/windows.hpp"
+#include "util/error.hpp"
+
+namespace confnet::min {
+namespace {
+
+TEST(FaultSet, Bookkeeping) {
+  FaultSet faults(4);
+  EXPECT_EQ(faults.fault_count(), 0u);
+  faults.fail_link(2, 5);
+  faults.fail_link(2, 5);  // idempotent
+  EXPECT_EQ(faults.fault_count(), 1u);
+  EXPECT_TRUE(faults.is_faulty(2, 5));
+  EXPECT_FALSE(faults.is_faulty(2, 6));
+  faults.repair_link(2, 5);
+  EXPECT_EQ(faults.fault_count(), 0u);
+  EXPECT_THROW(faults.fail_link(5, 0), Error);
+  EXPECT_THROW(faults.fail_link(0, 16), Error);
+}
+
+TEST(FaultSet, RandomInjectionRate) {
+  util::Rng rng(1);
+  FaultSet faults(8);
+  faults.inject_random(0.1, rng);
+  // 7 interstage levels x 256 rows = 1792 candidate links.
+  EXPECT_GT(faults.fault_count(), 1792 * 0.05);
+  EXPECT_LT(faults.fault_count(), 1792 * 0.2);
+  // External levels untouched by random injection.
+  for (u32 row = 0; row < 256; ++row) {
+    EXPECT_FALSE(faults.is_faulty(0, row));
+    EXPECT_FALSE(faults.is_faulty(8, row));
+  }
+}
+
+TEST(Faults, HealthyNetworkFullyConnected) {
+  for (Kind kind : kAllKinds) {
+    const FaultSet faults(4);
+    EXPECT_DOUBLE_EQ(connectivity(kind, 4, faults), 1.0);
+  }
+}
+
+TEST(Faults, SingleLinkKillsExactlyItsWindowProduct) {
+  // A faulty link (l,p) disconnects precisely |In| * |Out| = N pairs.
+  for (Kind kind : kAllKinds) {
+    const u32 n = 4;
+    const u32 N = 16;
+    for (u32 level = 1; level < n; ++level) {
+      FaultSet faults(n);
+      faults.fail_link(level, 7);
+      const double c = connectivity(kind, n, faults);
+      EXPECT_NEAR(c, 1.0 - 1.0 / N, 1e-12)
+          << kind_name(kind) << " level=" << level;
+    }
+  }
+}
+
+TEST(Faults, PathSurvivalMatchesMembership) {
+  const u32 n = 4;
+  for (Kind kind : kAllKinds) {
+    FaultSet faults(n);
+    faults.fail_link(2, 9);
+    const WindowDesc in_w = in_window(kind, n, 2, 9);
+    const WindowDesc out_w = out_window(kind, n, 2, 9);
+    for (u32 s = 0; s < 16; ++s)
+      for (u32 d = 0; d < 16; ++d)
+        EXPECT_EQ(path_survives(kind, n, s, d, faults),
+                  !(in_w.contains(s) && out_w.contains(d)));
+  }
+}
+
+TEST(Faults, ConferenceSurvivalEqualsSubnetworkDisjointness) {
+  util::Rng rng(5);
+  for (Kind kind : kAllKinds) {
+    const u32 n = 5;
+    for (int trial = 0; trial < 20; ++trial) {
+      FaultSet faults(n);
+      faults.inject_random(0.05, rng);
+      auto members = rng.sample_distinct(32, 4);
+      std::sort(members.begin(), members.end());
+      const auto links = conf::all_pairs_links(kind, n, members);
+      bool hit = false;
+      for (u32 level = 0; level <= n; ++level)
+        for (u32 row : links[level]) hit = hit || faults.is_faulty(level, row);
+      EXPECT_EQ(conference_survives(kind, n, members, faults), !hit)
+          << kind_name(kind) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Faults, SwitchFaultKillsBothOutputs) {
+  const u32 n = 3;
+  for (Kind kind : kAllKinds) {
+    FaultSet faults(n);
+    faults.fail_switch_outputs(kind, 2, 1);
+    EXPECT_EQ(faults.fault_count(), 2u);
+    // Both failed links are at level 2.
+    u32 at_level2 = 0;
+    for (u32 row = 0; row < 8; ++row)
+      if (faults.is_faulty(2, row)) ++at_level2;
+    EXPECT_EQ(at_level2, 2u);
+  }
+}
+
+TEST(Faults, LargerConferencesAreMoreFragile) {
+  // Survival probability decreases with conference size (more links).
+  util::Rng rng(11);
+  const u32 n = 6;
+  const Kind kind = Kind::kIndirectCube;
+  double survival_small = 0, survival_large = 0;
+  constexpr int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    FaultSet faults(n);
+    faults.inject_random(0.02, rng);
+    auto small = rng.sample_distinct(64, 2);
+    auto large = rng.sample_distinct(64, 16);
+    std::sort(small.begin(), small.end());
+    std::sort(large.begin(), large.end());
+    survival_small += conference_survives(kind, n, small, faults);
+    survival_large += conference_survives(kind, n, large, faults);
+  }
+  EXPECT_GT(survival_small, survival_large);
+}
+
+TEST(Faults, AlignedPlacementShrinksTheBlastRadiusInEnhancedCube) {
+  // A conference confined to an aligned block (enhanced realization) only
+  // dies to faults inside its own rows and levels <= tap level.
+  const u32 n = 4;
+  const std::vector<u32> members{4, 5, 6, 7};
+  const auto real = conf::enhanced_cube_realization(n, members);
+  FaultSet outside(n);
+  outside.fail_link(1, 0);    // different rows
+  outside.fail_link(3, 5);    // above the tap level
+  bool hit = false;
+  for (u32 level = 0; level <= n; ++level)
+    for (u32 row : real.links[level])
+      hit = hit || outside.is_faulty(level, row);
+  EXPECT_FALSE(hit);
+  FaultSet inside(n);
+  inside.fail_link(1, 5);  // inside the block, below tap level
+  hit = false;
+  for (u32 level = 0; level <= n; ++level)
+    for (u32 row : real.links[level])
+      hit = hit || inside.is_faulty(level, row);
+  EXPECT_TRUE(hit);
+}
+
+}  // namespace
+}  // namespace confnet::min

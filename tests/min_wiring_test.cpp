@@ -1,0 +1,98 @@
+#include "min/wiring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace confnet::min {
+namespace {
+
+TEST(Permutation, RejectsNonBijection) {
+  EXPECT_THROW(Permutation({0, 0}), Error);
+  EXPECT_THROW(Permutation({0, 2}), Error);
+  EXPECT_NO_THROW(Permutation({1, 0}));
+}
+
+TEST(Permutation, IdentityAndInverse) {
+  const Permutation id = Permutation::identity(8);
+  EXPECT_TRUE(id.is_identity());
+  const Permutation p({2, 0, 1, 3});
+  EXPECT_FALSE(p.is_identity());
+  const Permutation inv = p.inverse();
+  for (u32 i = 0; i < 4; ++i) EXPECT_EQ(inv(p(i)), i);
+  EXPECT_TRUE(p.then(inv).is_identity());
+  EXPECT_TRUE(inv.then(p).is_identity());
+}
+
+TEST(Permutation, Composition) {
+  const Permutation p({1, 2, 3, 0});
+  const Permutation q({3, 2, 1, 0});
+  const Permutation pq = p.then(q);
+  for (u32 i = 0; i < 4; ++i) EXPECT_EQ(pq(i), q(p(i)));
+}
+
+TEST(Wiring, ShuffleIsLeftRotation) {
+  const u32 n = 3;
+  const Permutation s = shuffle(n);
+  for (u32 p = 0; p < 8; ++p)
+    EXPECT_EQ(s(p), static_cast<u32>(util::rotl_n(p, n)));
+}
+
+TEST(Wiring, UnshuffleInvertsShuffle) {
+  for (u32 n = 1; n <= 6; ++n)
+    EXPECT_TRUE(shuffle(n).then(unshuffle(n)).is_identity());
+}
+
+TEST(Wiring, BlockShuffleStaysInBlock) {
+  const u32 n = 4, bb = 2;
+  const Permutation p = block_shuffle(n, bb);
+  for (u32 x = 0; x < 16; ++x) EXPECT_EQ(p(x) >> bb, x >> bb);
+  EXPECT_TRUE(block_shuffle(n, bb).then(block_unshuffle(n, bb)).is_identity());
+}
+
+TEST(Wiring, BlockShuffleFullBlockEqualsShuffle) {
+  const u32 n = 4;
+  EXPECT_EQ(block_shuffle(n, n), shuffle(n));
+  EXPECT_EQ(block_unshuffle(n, n), unshuffle(n));
+}
+
+TEST(Wiring, BitToLsbPairsCubeNeighbours) {
+  const u32 n = 4;
+  for (u32 k = 0; k < n; ++k) {
+    const Permutation p = bit_to_lsb(n, k);
+    for (u32 u = 0; u < 16; ++u) {
+      const u32 v = u ^ (1u << k);
+      // Same switch: indices differ only in the LSB.
+      EXPECT_EQ(p(u) >> 1, p(v) >> 1);
+      EXPECT_NE(p(u) & 1u, p(v) & 1u);
+      EXPECT_EQ(p(u) & 1u, (u >> k) & 1u);
+    }
+  }
+}
+
+TEST(Wiring, BitToLsbK0IsIdentity) {
+  EXPECT_TRUE(bit_to_lsb(4, 0).is_identity());
+}
+
+TEST(Wiring, LsbToBitInverts) {
+  for (u32 n = 1; n <= 6; ++n)
+    for (u32 k = 0; k < n; ++k)
+      EXPECT_TRUE(bit_to_lsb(n, k).then(lsb_to_bit(n, k)).is_identity());
+}
+
+TEST(Wiring, BitReversalInvolution) {
+  for (u32 n = 1; n <= 6; ++n) {
+    const Permutation r = bit_reversal(n);
+    EXPECT_TRUE(r.then(r).is_identity());
+  }
+}
+
+TEST(Wiring, BadArgsThrow) {
+  EXPECT_THROW(block_shuffle(4, 0), Error);
+  EXPECT_THROW(block_shuffle(4, 5), Error);
+  EXPECT_THROW(bit_to_lsb(4, 4), Error);
+}
+
+}  // namespace
+}  // namespace confnet::min

@@ -1,0 +1,84 @@
+// Discrete-event engine: ordering, determinism, time semantics.
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace confnet::sim {
+namespace {
+
+TEST(Des, FiresInTimeOrder) {
+  Simulator des;
+  std::vector<int> order;
+  des.schedule(3.0, [&] { order.push_back(3); });
+  des.schedule(1.0, [&] { order.push_back(1); });
+  des.schedule(2.0, [&] { order.push_back(2); });
+  des.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(des.events_processed(), 3u);
+}
+
+TEST(Des, TieBreaksByScheduleOrder) {
+  Simulator des;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) des.schedule(1.0, [&, i] { order.push_back(i); });
+  des.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Des, NowAdvancesWithEvents) {
+  Simulator des;
+  des.schedule(5.0, [&] { EXPECT_DOUBLE_EQ(des.now(), 5.0); });
+  des.run_until(10.0);
+  EXPECT_DOUBLE_EQ(des.now(), 10.0);  // clamps to horizon
+}
+
+TEST(Des, EventsBeyondHorizonStayQueued) {
+  Simulator des;
+  bool fired = false;
+  des.schedule(100.0, [&] { fired = true; });
+  des.run_until(50.0);
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(des.now(), 50.0);
+  des.run_until(150.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Des, EventsCanScheduleEvents) {
+  Simulator des;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 10) des.schedule_in(1.0, tick);
+  };
+  des.schedule(0.5, tick);
+  des.run_until(100.0);
+  EXPECT_EQ(chain, 10);
+  EXPECT_DOUBLE_EQ(des.now(), 100.0);
+}
+
+TEST(Des, SchedulingInThePastThrows) {
+  Simulator des;
+  des.schedule(5.0, [&] {
+    EXPECT_THROW(des.schedule(1.0, [] {}), Error);
+  });
+  des.run_until(10.0);
+}
+
+TEST(Des, StopHaltsProcessing) {
+  Simulator des;
+  int fired = 0;
+  des.schedule(1.0, [&] {
+    ++fired;
+    des.stop();
+  });
+  des.schedule(2.0, [&] { ++fired; });
+  des.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  // A subsequent run resumes with the queued event.
+  des.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace confnet::sim

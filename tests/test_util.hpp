@@ -1,0 +1,18 @@
+// Shared helpers for parameterized suites.
+#pragma once
+
+#include <string>
+
+#include "min/types.hpp"
+
+namespace confnet::testutil {
+
+/// gtest-safe parameter name: alphanumerics and underscores only.
+inline std::string param_name(min::Kind kind, min::u32 n) {
+  std::string s(min::kind_name(kind));
+  for (char& c : s)
+    if (c == '-') c = '_';
+  return s + "_n" + std::to_string(n);
+}
+
+}  // namespace confnet::testutil

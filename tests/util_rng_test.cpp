@@ -1,0 +1,134 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/bits.hpp"
+
+namespace confnet::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (u64 bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 50000, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  for (double rate : {0.5, 1.0, 4.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.05 / rate);
+  }
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(hits / 50000.0, 0.25, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(std::span<int>(w));
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SampleDistinct) {
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_distinct(100, 20);
+    EXPECT_EQ(sample.size(), 20u);
+    std::set<std::uint32_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    for (auto x : sample) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(Rng, SampleDistinctFullUniverse) {
+  Rng rng(23);
+  const auto sample = rng.sample_distinct(10, 10);
+  std::set<std::uint32_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent() == child()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng rng(1);
+  const auto a = rng();
+  rng.reseed(1);
+  EXPECT_EQ(rng(), a);
+}
+
+}  // namespace
+}  // namespace confnet::util

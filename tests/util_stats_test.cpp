@@ -1,0 +1,133 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace confnet::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10 - 5;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  Rng rng(2);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(SampleSet, QuantileInterpolation) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 25.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 40.0);
+}
+
+TEST(SampleSet, QuantileSingle) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.3), 7.0);
+}
+
+TEST(SampleSet, QuantileErrors) {
+  SampleSet s;
+  EXPECT_THROW((void)s.quantile(0.5), Error);
+  s.add(1.0);
+  EXPECT_THROW((void)s.quantile(1.5), Error);
+}
+
+TEST(SampleSet, Histogram) {
+  SampleSet s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i));
+  const auto h = s.histogram(10);
+  ASSERT_EQ(h.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& bin : h) total += bin.count;
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(h.front().count, 10u);
+}
+
+TEST(SampleSet, HistogramDegenerate) {
+  SampleSet s;
+  s.add(5.0);
+  s.add(5.0);
+  const auto h = s.histogram(4);
+  std::size_t total = 0;
+  for (const auto& bin : h) total += bin.count;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(Summarize, PopulatesFields) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  const Summary sum = summarize(s);
+  EXPECT_EQ(sum.n, 3u);
+  EXPECT_DOUBLE_EQ(sum.mean, 2.0);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 3.0);
+  EXPECT_GT(sum.ci95, 0.0);
+}
+
+TEST(FormatDouble, Readable) {
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(1.5), "1.5");
+  // Very large/small magnitudes switch to scientific notation.
+  EXPECT_NE(format_double(1.23e12).find('e'), std::string::npos);
+  EXPECT_NE(format_double(1.23e-7).find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace confnet::util
