@@ -93,6 +93,7 @@ std::optional<u32> DirectConferenceNetwork::setup(
   for (u32 m : sorted) port_busy_[m] = true;
   const u32 handle = next_handle_++;
   active_.emplace(handle, Active{std::move(sorted), std::move(links)});
+  CONFNET_AUDIT_HOOK(audit::check_direct_network(*this));
   return handle;
 }
 
@@ -106,6 +107,7 @@ void DirectConferenceNetwork::teardown(u32 handle) {
     }
   for (u32 m : it->second.members) port_busy_[m] = false;
   active_.erase(it);
+  CONFNET_AUDIT_HOOK(audit::check_direct_network(*this));
 }
 
 bool DirectConferenceNetwork::verify_delivery() const {
@@ -178,6 +180,7 @@ bool DirectConferenceNetwork::add_member(u32 handle, u32 port) {
   it->second.members = std::move(grown);
   it->second.links = std::move(new_links);
   port_busy_[port] = true;
+  CONFNET_AUDIT_HOOK(audit::check_direct_network(*this));
   return true;
 }
 
@@ -197,6 +200,7 @@ bool DirectConferenceNetwork::remove_member(u32 handle, u32 port) {
   it->second.members = std::move(shrunk);
   it->second.links = std::move(new_links);
   port_busy_[port] = false;
+  CONFNET_AUDIT_HOOK(audit::check_direct_network(*this));
   return true;
 }
 
@@ -253,6 +257,7 @@ std::optional<u32> EnhancedCubeNetwork::setup(
   for (u32 m : sorted) port_busy_[m] = true;
   const u32 handle = next_handle_++;
   active_.emplace(handle, Active{std::move(sorted), std::move(real)});
+  CONFNET_AUDIT_HOOK(audit::check_enhanced_network(*this));
   return handle;
 }
 
@@ -266,6 +271,7 @@ void EnhancedCubeNetwork::teardown(u32 handle) {
     }
   for (u32 m : it->second.members) port_busy_[m] = false;
   active_.erase(it);
+  CONFNET_AUDIT_HOOK(audit::check_enhanced_network(*this));
 }
 
 bool EnhancedCubeNetwork::verify_delivery() const {
@@ -322,6 +328,7 @@ bool EnhancedCubeNetwork::add_member(u32 handle, u32 port) {
   it->second.members = std::move(grown);
   it->second.realization = std::move(real);
   port_busy_[port] = true;
+  CONFNET_AUDIT_HOOK(audit::check_enhanced_network(*this));
   return true;
 }
 
@@ -350,6 +357,7 @@ bool EnhancedCubeNetwork::remove_member(u32 handle, u32 port) {
   it->second.members = std::move(shrunk);
   it->second.realization = std::move(real);
   port_busy_[port] = false;
+  CONFNET_AUDIT_HOOK(audit::check_enhanced_network(*this));
   return true;
 }
 
@@ -366,3 +374,91 @@ u32 EnhancedCubeNetwork::tap_level(u32 handle) const {
 }
 
 }  // namespace confnet::conf
+
+namespace confnet::audit {
+
+namespace {
+
+/// Shared portion of the two design audits: member sets disjoint, busy-port
+/// bitmap == union of members, per-link load == recomputed sum over the
+/// active link sets, load within `cap(level)`.
+template <typename ActiveMap, typename LinksOf, typename CapOf>
+void check_design_state(const ActiveMap& active,
+                        const std::vector<std::vector<conf::u32>>& load,
+                        const std::vector<bool>& port_busy, conf::u32 n,
+                        conf::u32 next_handle, const LinksOf& links_of,
+                        const CapOf& cap, std::string_view sub) {
+  using conf::u32;
+  const u32 N = u32{1} << n;
+  std::vector<std::vector<u32>> member_sets;
+  std::vector<bool> busy(N, false);
+  std::vector<std::vector<u32>> expected_load(n + 1,
+                                              std::vector<u32>(N, 0));
+  for (const auto& [handle, a] : active) {
+    require(handle < next_handle, sub, "conference handle from the future");
+    require(a.members.size() >= 2, sub, "active conference below two members");
+    member_sets.push_back(a.members);
+    for (u32 m : a.members) busy[m] = true;
+    const conf::LevelLinks& links = links_of(a);
+    require(links.size() == static_cast<std::size_t>(n) + 1, sub,
+            "active link set has wrong level count");
+    for (u32 level = 0; level <= n; ++level)
+      for (u32 row : links[level]) {
+        require(row < N, sub, "active link row out of range");
+        ++expected_load[level][row];
+      }
+  }
+  check_disjoint_memberships(member_sets, N, sub);
+  require(busy == port_busy, sub,
+          "busy-port bitmap is not the union of active members");
+  require(load == expected_load, sub,
+          "link load accounting diverges from active link sets");
+  for (u32 level = 0; level <= n; ++level)
+    for (u32 row = 0; row < N; ++row)
+      require(load[level][row] <= cap(level), sub,
+              "link load exceeds the channel capacity");
+}
+
+}  // namespace
+
+void check_direct_network(const conf::DirectConferenceNetwork& net) {
+  constexpr std::string_view kSub = "designs";
+  using conf::u32;
+  check_design_state(
+      net.active_, net.load_, net.port_busy_, net.n(), net.next_handle_,
+      [](const auto& a) -> const conf::LevelLinks& { return a.links; },
+      [&](u32 level) { return net.dilation_.channels(level); }, kSub);
+  // Deep shape check: the stored links are exactly the ALL_PAIRS
+  // subnetwork of the stored members.
+  for (const auto& [handle, a] : net.active_)
+    require(a.links == conf::all_pairs_links(net.kind(), net.n(), a.members),
+            kSub, "stored links diverge from the ALL_PAIRS recomputation");
+}
+
+void check_enhanced_network(const conf::EnhancedCubeNetwork& net) {
+  constexpr std::string_view kSub = "designs";
+  using conf::u32;
+  check_design_state(
+      net.active_, net.load_, net.port_busy_, net.n(), net.next_handle_,
+      [](const auto& a) -> const conf::LevelLinks& {
+        return a.realization.links;
+      },
+      [](u32) { return u32{1}; }, kSub);
+  std::vector<std::vector<std::vector<u32>>> group_links;
+  for (const auto& [handle, a] : net.active_) {
+    const auto& real = a.realization;
+    // The stored realization is exactly the recomputed one (tap included).
+    const conf::EnhancedRealization fresh =
+        conf::enhanced_cube_realization(net.n(), a.members);
+    require(real.tap_level == fresh.tap_level, kSub,
+            "stored tap level diverges from the recomputed completion level");
+    require(real.links == fresh.links, kSub,
+            "stored links diverge from the enhanced-cube recomputation");
+    group_links.push_back(real.links);
+  }
+  // The paper's claim, machine-checked on live state: enhanced-design
+  // conferences never share an interstage link.
+  check_link_disjoint(group_links, net.n() + 1, net.size(), kSub);
+}
+
+}  // namespace confnet::audit

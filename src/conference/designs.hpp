@@ -24,6 +24,7 @@
 #include "conference/subnetwork.hpp"
 #include "min/network.hpp"
 #include "switchmod/fabric.hpp"
+#include "util/audit.hpp"
 
 namespace confnet::conf {
 
@@ -130,6 +131,8 @@ class DirectConferenceNetwork final : public ConferenceNetworkBase {
   [[nodiscard]] u32 current_level_load(u32 level) const;
 
  private:
+  friend void audit::check_direct_network(const ::confnet::conf::DirectConferenceNetwork&);
+
   struct Active {
     std::vector<u32> members;
     LevelLinks links;
@@ -172,6 +175,8 @@ class EnhancedCubeNetwork final : public ConferenceNetworkBase {
   }
 
  private:
+  friend void audit::check_enhanced_network(const ::confnet::conf::EnhancedCubeNetwork&);
+
   struct Active {
     std::vector<u32> members;
     EnhancedRealization realization;

@@ -192,3 +192,34 @@ std::map<u32, u32>::iterator PortPlacer::find_buddy_block(u32 port) {
 }
 
 }  // namespace confnet::conf
+
+namespace confnet::audit {
+
+void check_placer(const conf::PortPlacer& placer) {
+  constexpr std::string_view kSub = "placement";
+  using conf::u32;
+  u32 taken = 0;
+  for (bool b : placer.taken_)
+    if (b) ++taken;
+  require(taken == placer.taken_count_, kSub,
+          "occupancy counter disagrees with the taken bitmap");
+  if (placer.policy_ != conf::PlacementPolicy::kBuddy) return;
+
+  const conf::BuddyAllocator& buddy = placer.buddy_;
+  check_buddy_state(buddy.free_,
+                    {buddy.allocated_.begin(), buddy.allocated_.end()},
+                    buddy.n_, buddy.free_ports_);
+  // Every conference block the placer tracks is live in the allocator, and
+  // every taken port lies inside one of those blocks.
+  std::vector<bool> in_block(placer.taken_.size(), false);
+  for (const auto& [base, order] : placer.buddy_blocks_) {
+    require(buddy.allocated_.count({base, order}) == 1, kSub,
+            "placer tracks a block the allocator does not consider live");
+    for (u32 p = base; p < base + (u32{1} << order); ++p) in_block[p] = true;
+  }
+  for (std::size_t p = 0; p < placer.taken_.size(); ++p)
+    require(!placer.taken_[p] || in_block[p], kSub,
+            "taken port outside every live buddy block");
+}
+
+}  // namespace confnet::audit

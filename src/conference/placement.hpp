@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "conference/conference.hpp"
+#include "util/audit.hpp"
 #include "util/rng.hpp"
 
 namespace confnet::conf {
@@ -38,6 +39,8 @@ class BuddyAllocator {
   [[nodiscard]] bool can_allocate(u32 order) const;
 
  private:
+  friend void audit::check_placer(const ::confnet::conf::PortPlacer&);
+
   u32 n_;
   u32 free_ports_;
   // free_[order] = sorted bases of free blocks of that order.
@@ -71,6 +74,11 @@ class PortPlacer {
   [[nodiscard]] PlacementPolicy policy() const noexcept { return policy_; }
   [[nodiscard]] u32 free_ports() const noexcept;
 
+  /// Whether `port` is currently assigned to some conference.
+  [[nodiscard]] bool occupied(u32 port) const noexcept {
+    return port < taken_.size() && taken_[port];
+  }
+
   /// Choose `size` ports for a new conference; nullopt = placement blocked
   /// (no capacity or, for buddy, fragmentation).
   [[nodiscard]] std::optional<std::vector<u32>> place(u32 size,
@@ -91,6 +99,8 @@ class PortPlacer {
   void release(const std::vector<u32>& ports);
 
  private:
+  friend void audit::check_placer(const ::confnet::conf::PortPlacer&);
+
   /// Buddy block containing `port`, or end().
   std::map<u32, u32>::iterator find_buddy_block(u32 port);
 

@@ -14,17 +14,20 @@ std::pair<OpenResult, std::optional<u32>> SessionManager::open(
   auto ports = placer_.place(size, rng);
   if (!ports) {
     ++stats_.blocked_placement;
+    CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
     return {OpenResult::kBlockedPlacement, std::nullopt};
   }
   const auto handle = network_.setup(*ports);
   if (!handle) {
     placer_.release(*ports);
     ++stats_.blocked_capacity;
+    CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
     return {OpenResult::kBlockedCapacity, std::nullopt};
   }
   ++stats_.accepted;
   const u32 id = next_session_++;
   sessions_.emplace(id, Session{std::move(*ports), *handle});
+  CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
   return {OpenResult::kAccepted, id};
 }
 
@@ -34,6 +37,7 @@ void SessionManager::close(u32 session_id) {
   network_.teardown(it->second.handle);
   placer_.release(it->second.ports);
   sessions_.erase(it);
+  CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
 }
 
 const std::vector<u32>& SessionManager::members_of(u32 session_id) const {
@@ -61,6 +65,7 @@ std::pair<OpenResult, std::optional<u32>> SessionManager::join(
                        *port),
       *port);
   ++stats_.joins;
+  CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
   return {OpenResult::kAccepted, port};
 }
 
@@ -75,6 +80,7 @@ bool SessionManager::leave(u32 session_id, u32 port) {
   it->second.ports.erase(pos);
   placer_.release_one(port);
   ++stats_.leaves;
+  CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
   return true;
 }
 
@@ -85,3 +91,43 @@ u32 SessionManager::handle_of(u32 session_id) const {
 }
 
 }  // namespace confnet::conf
+
+namespace confnet::audit {
+
+void check_session_stats(const conf::SessionStats& stats,
+                         u64 active_sessions) {
+  constexpr std::string_view kSub = "session";
+  require(stats.attempts == stats.accepted + stats.blocked_placement +
+                                stats.blocked_capacity,
+          kSub, "attempts do not split into accepted + blocking causes");
+  require(active_sessions <= stats.accepted, kSub,
+          "more live sessions than accepted opens");
+}
+
+void check_session_manager(const conf::SessionManager& manager) {
+  constexpr std::string_view kSub = "session";
+  using conf::u32;
+  const u32 N = manager.network_.size();
+  std::vector<std::vector<u32>> member_sets;
+  member_sets.reserve(manager.sessions_.size());
+  u64 total_ports = 0;
+  for (const auto& [id, session] : manager.sessions_) {
+    require(id < manager.next_session_, kSub, "session id from the future");
+    require(session.ports.size() >= 2, kSub,
+            "live session below two members");
+    total_ports += session.ports.size();
+    member_sets.push_back(session.ports);
+  }
+  check_disjoint_memberships(member_sets, N, kSub);
+  check_session_stats(manager.stats_, manager.sessions_.size());
+  // Cross-check against the placer: exactly the session ports are occupied.
+  require(manager.placer_.free_ports() == N - total_ports, kSub,
+          "placer occupancy disagrees with live session ports");
+  for (const auto& members : member_sets)
+    for (u32 port : members)
+      require(manager.placer_.occupied(port), kSub,
+              "session port not marked occupied in the placer");
+  check_placer(manager.placer_);
+}
+
+}  // namespace confnet::audit

@@ -10,6 +10,7 @@
 
 #include "conference/designs.hpp"
 #include "conference/placement.hpp"
+#include "util/audit.hpp"
 #include "util/rng.hpp"
 
 namespace confnet::conf {
@@ -75,6 +76,8 @@ class SessionManager {
   [[nodiscard]] ConferenceNetworkBase& network() noexcept { return network_; }
 
  private:
+  friend void audit::check_session_manager(const ::confnet::conf::SessionManager&);
+
   struct Session {
     std::vector<u32> ports;
     u32 handle;

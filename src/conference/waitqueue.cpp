@@ -30,13 +30,16 @@ WaitQueueManager::RequestResult WaitQueueManager::request(u32 size,
   }
   const Ticket ticket{next_ticket_++, size};
   queue_.push_back(ticket);
+  CONFNET_AUDIT_HOOK(audit::check_waitqueue(*this));
   return {RequestOutcome::kQueued, std::nullopt, ticket};
 }
 
 std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::close(
     u32 session_id, util::Rng& rng) {
   manager_.close(session_id);
-  return process_queue(rng);
+  auto served = process_queue(rng);
+  CONFNET_AUDIT_HOOK(audit::check_waitqueue(*this));
+  return served;
 }
 
 std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::process_queue(
@@ -65,6 +68,7 @@ bool WaitQueueManager::abandon(Ticket ticket) {
     if (it->id == ticket.id) {
       queue_.erase(it);
       ++stats_.abandoned;
+      CONFNET_AUDIT_HOOK(audit::check_waitqueue(*this));
       return true;
     }
   }
@@ -72,3 +76,33 @@ bool WaitQueueManager::abandon(Ticket ticket) {
 }
 
 }  // namespace confnet::conf
+
+namespace confnet::audit {
+
+void check_wait_stats(const conf::WaitStats& stats, u64 sessions_accepted) {
+  constexpr std::string_view kSub = "waitqueue";
+  // Every service went through an accepted SessionManager::open (callers
+  // may also open sessions directly, so accepted can run ahead).
+  require(stats.total_served() <= sessions_accepted, kSub,
+          "more served tickets than accepted session opens");
+}
+
+void check_waitqueue(const conf::WaitQueueManager& manager) {
+  std::vector<u64> ids;
+  std::vector<conf::u32> sizes;
+  ids.reserve(manager.queue_.size());
+  sizes.reserve(manager.queue_.size());
+  for (const auto& ticket : manager.queue_) {
+    ids.push_back(ticket.id);
+    sizes.push_back(ticket.size);
+  }
+  check_ticket_queue(ids, sizes, manager.next_ticket_, manager.capacity_);
+  check_wait_stats(manager.stats_, manager.manager_.stats().accepted);
+  require(manager.stats_.served_after_wait + manager.stats_.abandoned +
+                  manager.queue_.size() <=
+              manager.next_ticket_,
+          "waitqueue", "ticket lifecycle counters exceed issued tickets");
+  check_session_manager(manager.manager_);
+}
+
+}  // namespace confnet::audit

@@ -71,6 +71,8 @@ class WaitQueueManager {
   [[nodiscard]] SessionManager& sessions() noexcept { return manager_; }
 
  private:
+  friend void audit::check_waitqueue(const ::confnet::conf::WaitQueueManager&);
+
   std::vector<ServedTicket> process_queue(util::Rng& rng);
 
   SessionManager manager_;

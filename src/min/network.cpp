@@ -39,6 +39,7 @@ Network::Network(Topology topo) : topo_(std::move(topo)) {
       out_inv_[k][out_map_[k][p]] = p;
     }
   }
+  CONFNET_AUDIT_HOOK(audit::check_network(*this));
 }
 
 std::array<u32, 2> Network::successors(u32 level, u32 row) const {
@@ -136,3 +137,50 @@ const WindowTable& Network::windows() const {
 }
 
 }  // namespace confnet::min
+
+namespace confnet::audit {
+
+void check_network(const min::Network& net) {
+  constexpr std::string_view kSub = "min";
+  using min::u32;
+  const u32 N = net.size();
+  const u32 n = net.n();
+  require(net.topology().stages().size() == n, kSub,
+          "stage count differs from log2(N)");
+  // Every destination bit is consumed by exactly one stage.
+  std::vector<bool> consumed(n, false);
+  for (const auto& stage : net.topology().stages()) {
+    require(stage.routing_bit < n, kSub, "routing bit out of range");
+    require(!consumed[stage.routing_bit], kSub,
+            "destination bit routed by two stages");
+    consumed[stage.routing_bit] = true;
+  }
+  // Wiring tables are permutations and agree with their inverses.
+  for (u32 k = 0; k < n; ++k) {
+    check_permutation(net.in_map_[k], kSub);
+    check_permutation(net.out_map_[k], kSub);
+    require(net.in_inv_[k].size() == N && net.out_inv_[k].size() == N, kSub,
+            "inverse wiring table has wrong size");
+    for (u32 p = 0; p < N; ++p) {
+      require(net.in_inv_[k][net.in_map_[k][p]] == p, kSub,
+              "input wiring inverse disagrees with the forward table");
+      require(net.out_inv_[k][net.out_map_[k][p]] == p, kSub,
+              "output wiring inverse disagrees with the forward table");
+    }
+  }
+  // Successor/predecessor hops are mutually consistent (sampled on big
+  // networks to keep the audit O(N) per level).
+  const u32 stride = N > 4096 ? N / 4096 : 1;
+  for (u32 level = 0; level < n; ++level) {
+    for (u32 row = 0; row < N; row += stride) {
+      for (u32 next : net.successors(level, row)) {
+        require(next < N, kSub, "successor row out of range");
+        const auto preds = net.predecessors(level + 1, next);
+        require(preds[0] == row || preds[1] == row, kSub,
+                "successor does not list the link among its predecessors");
+      }
+    }
+  }
+}
+
+}  // namespace confnet::audit

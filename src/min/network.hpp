@@ -14,6 +14,7 @@
 
 #include "min/topology.hpp"
 #include "min/types.hpp"
+#include "util/audit.hpp"
 #include "util/bitset.hpp"
 
 namespace confnet::min {
@@ -74,6 +75,8 @@ class Network {
   [[nodiscard]] const WindowTable& windows() const;
 
  private:
+  friend void audit::check_network(const ::confnet::min::Network&);
+
   Topology topo_;
   // Flattened wiring for O(1) hops: [stage][row].
   std::vector<std::vector<u32>> in_map_, in_inv_, out_map_, out_inv_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/audit.hpp"
 #include "util/error.hpp"
 
 namespace confnet::sw {
@@ -26,6 +27,10 @@ Fabric::Fabric(const min::Network& net, FabricConfig config)
 EvalReport Fabric::evaluate(const std::vector<GroupRealization>& groups) const {
   const u32 N = net_.size();
   const u32 n = net_.n();
+
+#if defined(CONFNET_AUDIT)
+  for (const auto& g : groups) audit::check_group_realization(net_, g);
+#endif
 
   // --- Validation: disjoint members, well-formed link sets. ---
   {
@@ -150,3 +155,57 @@ EvalReport Fabric::evaluate(const std::vector<GroupRealization>& groups) const {
 }
 
 }  // namespace confnet::sw
+
+namespace confnet::audit {
+
+void check_group_realization(const min::Network& net,
+                             const sw::GroupRealization& group) {
+  constexpr std::string_view kSub = "switchmod";
+  using sw::u32;
+  const u32 N = net.size();
+  const u32 n = net.n();
+  require(!group.members.empty(), kSub, "group has no members");
+  check_rows(group.members, N, kSub);
+  require(group.links.size() == static_cast<std::size_t>(n) + 1, kSub,
+          "group link set has wrong level count");
+  for (const auto& rows : group.links) check_rows(rows, N, kSub);
+  // Members inject at level 0 on their own rows.
+  for (u32 m : group.members)
+    require(std::binary_search(group.links[0].begin(), group.links[0].end(), m),
+            kSub, "member missing from the level-0 link set");
+  // Flow-graph shape: every used interstage link is fed by a used
+  // predecessor — a switch never invents a signal, and fan-in only merges
+  // links the group actually owns (the conference merge).
+  for (u32 level = 1; level <= n; ++level) {
+    if (group.links[level].empty()) continue;
+    for (u32 row : group.links[level]) {
+      const auto preds = net.predecessors(level, row);
+      const bool fed =
+          std::binary_search(group.links[level - 1].begin(),
+                             group.links[level - 1].end(), preds[0]) ||
+          std::binary_search(group.links[level - 1].begin(),
+                             group.links[level - 1].end(), preds[1]);
+      require(fed, kSub, "interstage link with no feeding predecessor");
+    }
+  }
+  // Relay taps, when present, cover exactly the member set at legal levels
+  // on links the group owns.
+  if (!group.taps.empty()) {
+    require(group.taps.size() == group.members.size(), kSub,
+            "taps must cover every member exactly once");
+    std::vector<bool> tapped(N, false);
+    for (const auto& tap : group.taps) {
+      require(std::binary_search(group.members.begin(), group.members.end(),
+                                 tap.output),
+              kSub, "tap output is not a member");
+      require(!tapped[tap.output], kSub, "member tapped twice");
+      tapped[tap.output] = true;
+      require(tap.tap_level <= n, kSub, "tap level out of range");
+      require(std::binary_search(group.links[tap.tap_level].begin(),
+                                 group.links[tap.tap_level].end(), tap.output),
+              kSub, "tap points at a link outside the group's subnetwork");
+    }
+  }
+}
+
+}  // namespace confnet::audit

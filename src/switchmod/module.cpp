@@ -1,5 +1,7 @@
 #include "switchmod/module.hpp"
 
+#include <cstddef>
+
 #include "util/error.hpp"
 
 namespace confnet::sw {
@@ -9,7 +11,7 @@ constexpr std::array<PortSelect, 4> kAllSelects{
     PortSelect::kIdle, PortSelect::kUpper, PortSelect::kLower,
     PortSelect::kCombine};
 
-bool uses_input(PortSelect s, int input) noexcept {
+bool uses_input(PortSelect s, std::size_t input) noexcept {
   switch (s) {
     case PortSelect::kIdle: return false;
     case PortSelect::kUpper: return input == 0;
@@ -27,7 +29,7 @@ bool setting_allowed(SwitchSetting setting, SwitchCapability cap) {
   }
   if (!cap.fan_out) {
     // Without fan-out no input may feed both outputs.
-    for (int input = 0; input < 2; ++input)
+    for (std::size_t input = 0; input < 2; ++input)
       if (uses_input(setting.out[0], input) && uses_input(setting.out[1], input))
         return false;
   }
@@ -38,7 +40,7 @@ std::array<MemberSet, 2> apply_setting(SwitchSetting setting,
                                        const MemberSet& in0,
                                        const MemberSet& in1) {
   std::array<MemberSet, 2> out;
-  for (int o = 0; o < 2; ++o) {
+  for (std::size_t o = 0; o < 2; ++o) {
     switch (setting.out[o]) {
       case PortSelect::kIdle:
         break;
@@ -62,7 +64,7 @@ std::array<MemberSet, 2> apply_setting(SwitchSetting setting,
 SwitchSetting derive_setting(const std::array<std::array<bool, 2>, 2>& need,
                              SwitchCapability cap) {
   SwitchSetting setting;
-  for (int o = 0; o < 2; ++o) {
+  for (std::size_t o = 0; o < 2; ++o) {
     const bool want0 = need[o][0];
     const bool want1 = need[o][1];
     if (want0 && want1) {

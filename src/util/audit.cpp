@@ -1,0 +1,122 @@
+#include "util/audit.hpp"
+
+#include <algorithm>
+
+namespace confnet::audit {
+
+void fail(std::string_view subsystem, std::string_view what) {
+  throw AuditError(subsystem, what);
+}
+
+void require(bool cond, std::string_view subsystem, std::string_view what) {
+  if (!cond) fail(subsystem, what);
+}
+
+void check_permutation(const std::vector<u32>& map,
+                       std::string_view subsystem) {
+  const std::size_t size = map.size();
+  std::vector<bool> seen(size, false);
+  for (u32 v : map) {
+    require(v < size, subsystem, "permutation entry out of range");
+    require(!seen[v], subsystem, "permutation entry repeated (not a bijection)");
+    seen[v] = true;
+  }
+}
+
+void check_rows(const std::vector<u32>& rows, u32 bound,
+                std::string_view subsystem) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    require(rows[i] < bound, subsystem, "row out of range");
+    if (i > 0)
+      require(rows[i - 1] < rows[i], subsystem,
+              "rows not sorted / contain duplicates");
+  }
+}
+
+void check_disjoint_memberships(
+    const std::vector<std::vector<u32>>& member_sets, u32 ports,
+    std::string_view subsystem) {
+  std::vector<bool> owned(ports, false);
+  for (const auto& members : member_sets) {
+    check_rows(members, ports, subsystem);
+    for (u32 m : members) {
+      require(!owned[m], subsystem, "member port owned by two conferences");
+      owned[m] = true;
+    }
+  }
+}
+
+void check_link_disjoint(
+    const std::vector<std::vector<std::vector<u32>>>& group_links, u32 levels,
+    u32 rows, std::string_view subsystem) {
+  if (levels <= 2) return;  // no interstage levels to share
+  std::vector<int> owner(static_cast<std::size_t>(levels) * rows, -1);
+  for (std::size_t g = 0; g < group_links.size(); ++g) {
+    const auto& links = group_links[g];
+    require(links.size() == levels, subsystem,
+            "group link set has wrong level count");
+    for (u32 level = 1; level + 1 < levels; ++level) {
+      check_rows(links[level], rows, subsystem);
+      for (u32 r : links[level]) {
+        auto& cell = owner[static_cast<std::size_t>(level) * rows + r];
+        require(cell < 0 || cell == static_cast<int>(g), subsystem,
+                "interstage link shared by two conferences");
+        cell = static_cast<int>(g);
+      }
+    }
+  }
+}
+
+void check_ticket_queue(const std::vector<u64>& ids,
+                        const std::vector<u32>& sizes, u64 next_ticket,
+                        u64 capacity) {
+  constexpr std::string_view kSub = "waitqueue";
+  require(ids.size() == sizes.size(), kSub, "ticket id/size lists disagree");
+  require(ids.size() <= capacity, kSub, "queue exceeds its capacity");
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    require(ids[i] < next_ticket, kSub, "ticket id from the future");
+    require(sizes[i] >= 2, kSub, "queued conference smaller than two members");
+    if (i > 0)
+      require(ids[i - 1] < ids[i], kSub,
+              "queue not in FIFO ticket-issue order");
+  }
+}
+
+void check_buddy_state(const std::vector<std::vector<u32>>& free_lists,
+                       const std::vector<std::pair<u32, u32>>& allocated,
+                       u32 n, u32 free_ports) {
+  constexpr std::string_view kSub = "placement";
+  require(n >= 1 && n <= 20, kSub, "buddy size out of range");
+  require(free_lists.size() == static_cast<std::size_t>(n) + 1, kSub,
+          "buddy free-list table has wrong order count");
+  const u32 size = u32{1} << n;
+  std::vector<bool> covered(size, false);
+  u64 free_total = 0;
+  auto cover = [&](u32 base, u32 order, const char* what) {
+    require(order <= n, kSub, "block order beyond network size");
+    const u32 span = u32{1} << order;
+    require(base % span == 0, kSub, "block base misaligned for its order");
+    require(base + span <= size, kSub, "block extends past the port space");
+    for (u32 p = base; p < base + span; ++p) {
+      require(!covered[p], kSub, what);
+      covered[p] = true;
+    }
+  };
+  for (u32 order = 0; order <= n; ++order) {
+    const auto& list = free_lists[order];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (i > 0)
+        require(list[i - 1] < list[i], kSub, "free list not sorted");
+      cover(list[i], order, "free blocks overlap");
+      free_total += u64{1} << order;
+    }
+  }
+  for (const auto& [base, order] : allocated)
+    cover(base, order, "allocated block overlaps another block");
+  require(std::all_of(covered.begin(), covered.end(), [](bool b) { return b; }),
+          kSub, "free + allocated blocks do not tile the port space");
+  require(free_total == free_ports, kSub,
+          "free-port counter disagrees with the free lists");
+}
+
+}  // namespace confnet::audit

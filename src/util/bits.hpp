@@ -60,7 +60,10 @@ constexpr u64 bit_field(u64 x, u32 lo, u32 hi) noexcept {
 }
 
 /// Rotate the low `n` bits of `x` left by one (perfect shuffle of 2^n ports).
+/// A zero-width field rotates to itself (0); the guard also keeps the shift
+/// by n-1 defined for n == 0.
 constexpr u64 rotl_n(u64 x, u32 n) noexcept {
+  if (n <= 1) return n == 0 ? 0 : x & 1;
   const u64 m = (n >= 64) ? ~u64{0} : ((u64{1} << n) - 1);
   x &= m;
   return ((x << 1) | (x >> (n - 1))) & m;
@@ -68,13 +71,16 @@ constexpr u64 rotl_n(u64 x, u32 n) noexcept {
 
 /// Rotate the low `n` bits of `x` right by one (inverse shuffle).
 constexpr u64 rotr_n(u64 x, u32 n) noexcept {
+  if (n <= 1) return n == 0 ? 0 : x & 1;
   const u64 m = (n >= 64) ? ~u64{0} : ((u64{1} << n) - 1);
   x &= m;
   return ((x >> 1) | ((x & 1) << (n - 1))) & m;
 }
 
-/// Rotate the low `n` bits left by `s` positions.
+/// Rotate the low `n` bits left by `s` positions. n == 0 is the empty
+/// rotation (guards the `s % n` below).
 constexpr u64 rotl_n_by(u64 x, u32 n, u32 s) noexcept {
+  if (n == 0) return 0;
   const u64 m = (n >= 64) ? ~u64{0} : ((u64{1} << n) - 1);
   x &= m;
   s %= n;

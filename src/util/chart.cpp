@@ -22,7 +22,10 @@ std::string bar_chart(
   std::ostringstream os;
   for (const auto& [label, value] : series) {
     const auto bars =
-        peak > 0.0 ? static_cast<std::size_t>(value / peak * width) : 0;
+        peak > 0.0
+            ? static_cast<std::size_t>(value / peak *
+                                       static_cast<double>(width))
+            : std::size_t{0};
     os << "  " << label << std::string(label_width - label.size(), ' ')
        << " |" << std::string(bars, '#') << ' ' << format_double(value)
        << '\n';

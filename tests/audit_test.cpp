@@ -1,0 +1,256 @@
+// Invariant-auditor tests.
+//
+// Positive half: every per-subsystem wrapper accepts healthy objects after
+// real workloads (so the CONFNET_AUDIT hooks embedded in the library can
+// never fire on correct code).
+//
+// Negative half: for each subsystem, at least one deliberately corrupted
+// state fed to the raw checkers makes the audit throw AuditError with that
+// subsystem's tag — proving the audits actually detect what they claim to.
+#include "util/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "conference/designs.hpp"
+#include "conference/placement.hpp"
+#include "conference/session.hpp"
+#include "conference/subnetwork.hpp"
+#include "conference/waitqueue.hpp"
+#include "min/network.hpp"
+#include "switchmod/fabric.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace confnet;
+using u32 = std::uint32_t;
+
+template <typename Fn>
+std::string audit_failure(Fn&& fn, const std::string& expect_subsystem) {
+  try {
+    fn();
+  } catch (const audit::AuditError& e) {
+    EXPECT_EQ(e.subsystem(), expect_subsystem) << e.what();
+    EXPECT_NE(std::string(e.what()).find("audit[" + expect_subsystem + "]"),
+              std::string::npos)
+        << e.what();
+    return e.what();
+  }
+  ADD_FAILURE() << "corrupted state passed the " << expect_subsystem
+                << " audit";
+  return {};
+}
+
+// ---------------------------------------------------------------- network
+
+TEST(AuditNetwork, HealthyNetworksPass) {
+  for (auto kind : {min::Kind::kOmega, min::Kind::kBaseline,
+                    min::Kind::kIndirectCube, min::Kind::kButterfly}) {
+    auto net = min::make_network(kind, 4);
+    EXPECT_NO_THROW(audit::check_network(net));
+  }
+}
+
+TEST(AuditNetwork, CorruptedWiringFires) {
+  // A wiring table with a repeated entry is not a bijection.
+  audit_failure([] { audit::check_permutation({0, 0, 2, 3}, "min"); }, "min");
+  // An out-of-range entry is equally illegal.
+  audit_failure([] { audit::check_permutation({0, 1, 7, 3}, "min"); }, "min");
+}
+
+// --------------------------------------------------------------- switchmod
+
+TEST(AuditFabric, HealthyRealizationPasses) {
+  const u32 n = 3;
+  auto net = min::make_network(min::Kind::kIndirectCube, n);
+  sw::GroupRealization group;
+  group.id = 0;
+  group.members = {0, 1, 2, 3};
+  group.links = conf::all_pairs_links(net.kind(), n, group.members);
+  EXPECT_NO_THROW(audit::check_group_realization(net, group));
+}
+
+TEST(AuditFabric, CorruptedRealizationFires) {
+  const u32 n = 3;
+  auto net = min::make_network(min::Kind::kIndirectCube, n);
+  sw::GroupRealization group;
+  group.id = 0;
+  group.members = {0, 1, 2, 3};
+  group.links = conf::all_pairs_links(net.kind(), n, group.members);
+
+  // Orphan link: a level-2 row whose predecessors carry no group traffic.
+  auto orphaned = group;
+  orphaned.links[2].clear();
+  orphaned.links[2].push_back(7);
+  audit_failure(
+      [&] { audit::check_group_realization(net, orphaned); }, "switchmod");
+
+  // Unsorted rows break the canonical link-set representation.
+  audit_failure([] { audit::check_rows({3, 1}, 8, "switchmod"); },
+                "switchmod");
+}
+
+// --------------------------------------------------------------- placement
+
+TEST(AuditPlacement, HealthyPlacerPasses) {
+  util::Rng rng(7);
+  for (auto policy : {conf::PlacementPolicy::kBuddy,
+                      conf::PlacementPolicy::kFirstFit,
+                      conf::PlacementPolicy::kRandom}) {
+    conf::PortPlacer placer(4, policy);
+    auto a = placer.place(3, rng);
+    auto b = placer.place(5, rng);
+    ASSERT_TRUE(a && b);
+    EXPECT_NO_THROW(audit::check_placer(placer));
+    placer.release(*a);
+    EXPECT_NO_THROW(audit::check_placer(placer));
+  }
+}
+
+TEST(AuditPlacement, CorruptedBuddyStateFires) {
+  // n=2 (4 ports). One free order-2 block covers everything; an allocated
+  // block on top of it overlaps.
+  audit_failure(
+      [] {
+        audit::check_buddy_state({{}, {}, {0}}, {{0, 1}}, 2, 4);
+      },
+      "placement");
+  // Free-port counter disagreeing with the free lists.
+  audit_failure(
+      [] { audit::check_buddy_state({{}, {}, {0}}, {}, 2, 3); }, "placement");
+  // A hole: blocks fail to tile the port space.
+  audit_failure(
+      [] { audit::check_buddy_state({{0}, {2}, {}}, {}, 2, 3); }, "placement");
+}
+
+// ----------------------------------------------------------------- session
+
+TEST(AuditSession, HealthySessionManagerPasses) {
+  conf::EnhancedCubeNetwork net(4);
+  conf::SessionManager mgr(net, conf::PlacementPolicy::kBuddy);
+  util::Rng rng(11);
+  auto [r1, s1] = mgr.open(4, rng);
+  auto [r2, s2] = mgr.open(2, rng);
+  ASSERT_EQ(r1, conf::OpenResult::kAccepted);
+  ASSERT_EQ(r2, conf::OpenResult::kAccepted);
+  EXPECT_NO_THROW(audit::check_session_manager(mgr));
+  mgr.close(*s1);
+  EXPECT_NO_THROW(audit::check_session_manager(mgr));
+}
+
+TEST(AuditSession, CorruptedStatsFire) {
+  // Attempts that do not split into accepted + blocking causes.
+  conf::SessionStats stats;
+  stats.attempts = 5;
+  stats.accepted = 2;
+  stats.blocked_placement = 1;
+  stats.blocked_capacity = 1;  // 2 + 1 + 1 != 5
+  audit_failure([&] { audit::check_session_stats(stats, 0); }, "session");
+
+  // More live sessions than were ever accepted.
+  conf::SessionStats ok;
+  ok.attempts = 3;
+  ok.accepted = 3;
+  audit_failure([&] { audit::check_session_stats(ok, 4); }, "session");
+
+  // Two sessions claiming the same port.
+  audit_failure(
+      [] {
+        audit::check_disjoint_memberships({{0, 1}, {1, 2}}, 8, "session");
+      },
+      "session");
+}
+
+// --------------------------------------------------------------- waitqueue
+
+TEST(AuditWaitQueue, HealthyManagerPasses) {
+  conf::EnhancedCubeNetwork net(3);
+  conf::WaitQueueManager wq(net, conf::PlacementPolicy::kBuddy, 16);
+  util::Rng rng(13);
+  std::vector<u32> open_sessions;
+  // Fill the fabric until requests start queueing.
+  for (int i = 0; i < 8; ++i) {
+    auto r = wq.request(4, rng);
+    if (r.outcome == conf::RequestOutcome::kServed)
+      open_sessions.push_back(*r.session);
+  }
+  EXPECT_GT(wq.queue_length(), 0u);
+  EXPECT_NO_THROW(audit::check_waitqueue(wq));
+  // Departures admit waiters; the audit must hold through the transition.
+  ASSERT_FALSE(open_sessions.empty());
+  (void)wq.close(open_sessions.front(), rng);
+  EXPECT_NO_THROW(audit::check_waitqueue(wq));
+}
+
+TEST(AuditWaitQueue, CorruptedQueueFires) {
+  // FIFO issue order violated.
+  audit_failure(
+      [] { audit::check_ticket_queue({5, 3}, {2, 2}, 10, 10); }, "waitqueue");
+  // Ticket id never issued (>= next_ticket).
+  audit_failure(
+      [] { audit::check_ticket_queue({12}, {2}, 10, 10); }, "waitqueue");
+  // Queue longer than its capacity.
+  audit_failure(
+      [] { audit::check_ticket_queue({0, 1, 2}, {2, 2, 2}, 5, 2); },
+      "waitqueue");
+  // More services than the session manager ever accepted.
+  conf::WaitStats stats;
+  stats.served_immediately = 4;
+  stats.served_after_wait = 2;
+  audit_failure([&] { audit::check_wait_stats(stats, 5); }, "waitqueue");
+}
+
+// ----------------------------------------------------------------- designs
+
+TEST(AuditDesigns, HealthyDirectNetworkPasses) {
+  conf::DirectConferenceNetwork net(min::Kind::kOmega, 4,
+                                    conf::DilationProfile::full(4));
+  auto h1 = net.setup({0, 3, 9});
+  auto h2 = net.setup({1, 2, 12, 14});
+  ASSERT_TRUE(h1 && h2);
+  EXPECT_NO_THROW(audit::check_direct_network(net));
+  net.teardown(*h1);
+  EXPECT_NO_THROW(audit::check_direct_network(net));
+}
+
+TEST(AuditDesigns, HealthyEnhancedNetworkPasses) {
+  conf::EnhancedCubeNetwork net(4);
+  auto h1 = net.setup({0, 1, 2, 3});
+  auto h2 = net.setup({8, 9, 10, 11});
+  ASSERT_TRUE(h1 && h2);
+  EXPECT_NO_THROW(audit::check_enhanced_network(net));
+  ASSERT_TRUE(net.add_member(*h2, 12));
+  EXPECT_NO_THROW(audit::check_enhanced_network(net));
+  net.teardown(*h1);
+  EXPECT_NO_THROW(audit::check_enhanced_network(net));
+}
+
+TEST(AuditDesigns, SharedInterstageLinkFires) {
+  // Two conferences both using interstage row 2 at level 1 violate the
+  // enhanced design's link-disjointness (the paper's nonblocking claim).
+  const u32 levels = 4;  // n = 3
+  std::vector<std::vector<std::vector<u32>>> groups = {
+      {{0, 1}, {2}, {}, {}},
+      {{4, 5}, {2}, {}, {}},
+  };
+  audit_failure(
+      [&] { audit::check_link_disjoint(groups, levels, 8, "designs"); },
+      "designs");
+}
+
+// ------------------------------------------------------------- hook plumb
+
+TEST(AuditHook, HookCompilesInEveryBuildMode) {
+  // In CONFNET_AUDIT builds this runs the audit; otherwise it is (void)0.
+  auto net = min::make_network(min::Kind::kOmega, 3);
+  CONFNET_AUDIT_HOOK(audit::check_network(net));
+  SUCCEED() << "audit hooks " << (audit::kEnabled ? "enabled" : "disabled");
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Contract-helper tests: expects/ensures throw confnet::Error with the
+// failing expression and source location, and stay usable in constant
+// expressions (a violated check in a constexpr context is a compile error,
+// so passing static_asserts below prove the constexpr path works).
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace {
+
+using confnet::Error;
+
+static_assert(std::is_base_of_v<std::runtime_error, Error>,
+              "Error must be catchable as std::runtime_error");
+
+constexpr std::uint32_t checked_half(std::uint32_t x) {
+  confnet::expects(x % 2 == 0, "x must be even");
+  const std::uint32_t half = x / 2;
+  confnet::ensures(half * 2 == x, "halving must be exact");
+  return half;
+}
+
+// Evaluating the checks at compile time must succeed when the contracts
+// hold; this is the constexpr-usability guarantee the bit helpers rely on.
+static_assert(checked_half(8) == 4);
+static_assert(checked_half(0) == 0);
+
+TEST(UtilError, ExpectsPassesSilently) {
+  EXPECT_NO_THROW(confnet::expects(true));
+  EXPECT_NO_THROW(confnet::ensures(true));
+}
+
+TEST(UtilError, ExpectsThrowsErrorWithExpressionText) {
+  try {
+    confnet::expects(false, "ports must be a power of two");
+    FAIL() << "expects(false) did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition violated"), std::string::npos) << what;
+    EXPECT_NE(what.find("ports must be a power of two"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(UtilError, EnsuresThrowsErrorWithExpressionText) {
+  try {
+    confnet::ensures(false, "result must be sorted");
+    FAIL() << "ensures(false) did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("postcondition violated"), std::string::npos) << what;
+    EXPECT_NE(what.find("result must be sorted"), std::string::npos) << what;
+  }
+}
+
+TEST(UtilError, FailureMessageCarriesSourceLocation) {
+  try {
+    confnet::expects(false, "location probe");
+    FAIL() << "expects(false) did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    // The default source_location argument binds at the *call site*.
+    EXPECT_NE(what.find("util_error_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("TestBody"), std::string::npos) << what;
+    // A line number follows the file name ("...:<line> in ...").
+    EXPECT_NE(what.find(".cpp:"), std::string::npos) << what;
+  }
+}
+
+TEST(UtilError, MacroCapturesTheFailingExpression) {
+  const int a = 3;
+  const int b = 2;
+  try {
+    CONFNET_EXPECTS(a < b);
+    FAIL() << "CONFNET_EXPECTS(a < b) did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("a < b"), std::string::npos)
+        << e.what();
+  }
+  try {
+    CONFNET_ENSURES(a == b);
+    FAIL() << "CONFNET_ENSURES(a == b) did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("a == b"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(UtilError, RuntimeViolationOfConstexprFunctionThrows) {
+  EXPECT_THROW((void)checked_half(3), Error);
+  EXPECT_EQ(checked_half(10), 5u);
+}
+
+TEST(UtilError, ErrorIsCatchableAsStdException) {
+  try {
+    confnet::expects(false, "catch as std::exception");
+    FAIL();
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("catch as std::exception"),
+              std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Repo convention checker for confnet.
+
+Fast, dependency-free gate that runs in CI before the heavyweight
+sanitizer jobs. Enforced conventions:
+
+  1. Every header under src/ starts its code with `#pragma once`.
+  2. Include hygiene: no parent-relative (`"../"`) includes anywhere;
+     project includes in src/ use the project-root-relative form
+     ("min/types.hpp", not "types.hpp" from a sibling directory).
+  3. No naked `new` / `delete` in library code. `new` immediately wrapped
+     in a smart pointer on the same line is allowed (needed where a
+     private constructor blocks std::make_unique), as are `= delete`
+     declarations and words containing the tokens.
+  4. No std::cout / std::cerr / std::printf in library code (src/),
+     except the designated user-facing sinks (util/cli.cpp prints usage,
+     util/log.cpp is the logging backend).
+
+Exit status 0 when clean; 1 with one "file:line: message" per finding.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+CODE_ROOTS = [SRC, REPO / "tests", REPO / "bench", REPO / "examples"]
+
+# Library files allowed to write to the console: the CLI front end and the
+# logging sink. Everything else must route output through util/log.hpp or
+# return data to the caller.
+CONSOLE_EXEMPT = {
+    SRC / "util" / "cli.cpp",
+    SRC / "util" / "log.cpp",
+}
+
+CONSOLE_RE = re.compile(r"std::cout|std::cerr|std::printf|\bprintf\s*\(")
+NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_:<]")
+DELETE_RE = re.compile(r"\bdelete\b(\[\])?\s+[A-Za-z_:*(]")
+SMART_WRAP_RE = re.compile(
+    r"(unique_ptr|shared_ptr)\s*<[^;]*>\s*[({][^;]*\bnew\b"
+)
+PARENT_INCLUDE_RE = re.compile(r'#include\s+"\.\./')
+LOCAL_INCLUDE_RE = re.compile(r'#include\s+"([^"]+)"')
+
+
+def iter_sources(root: Path):
+    for ext in ("*.hpp", "*.cpp"):
+        yield from sorted(root.rglob(ext))
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude single-line scrub so tokens inside comments or string
+    literals do not trip the content rules. Block comments that span
+    lines are handled by the caller."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"//.*", "", line)
+    return line
+
+
+def check_file(path: Path, problems: list[str]) -> None:
+    rel = path.relative_to(REPO)
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    if path.suffix == ".hpp" and path.is_relative_to(SRC):
+        code_lines = [
+            ln.strip()
+            for ln in lines
+            if ln.strip() and not ln.strip().startswith("//")
+        ]
+        if not code_lines or code_lines[0] != "#pragma once":
+            problems.append(
+                f"{rel}:1: header must open with `#pragma once` "
+                "(after the leading comment block)"
+            )
+
+    in_block_comment = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        if "/*" in line and "*/" not in line[line.find("/*") :]:
+            line = line[: line.find("/*")]
+            in_block_comment = True
+        line = strip_comments_and_strings(line)
+        if not line.strip():
+            continue
+
+        if PARENT_INCLUDE_RE.search(line):
+            problems.append(
+                f"{rel}:{lineno}: parent-relative include; use the "
+                "project-root-relative path instead"
+            )
+        m = LOCAL_INCLUDE_RE.search(line)
+        if m and path.is_relative_to(SRC):
+            target = m.group(1)
+            if "/" not in target:
+                problems.append(
+                    f"{rel}:{lineno}: bare include \"{target}\"; project "
+                    "includes must be root-relative (e.g. \"util/...\")"
+                )
+
+        if not path.is_relative_to(SRC):
+            continue  # content rules below apply to library code only
+
+        if "= delete" not in line and DELETE_RE.search(line):
+            problems.append(
+                f"{rel}:{lineno}: naked `delete`; owning pointers must be "
+                "smart pointers"
+            )
+        if NEW_RE.search(line) and not SMART_WRAP_RE.search(line):
+            problems.append(
+                f"{rel}:{lineno}: naked `new`; wrap in a smart pointer on "
+                "the same line (or use std::make_unique)"
+            )
+        if path not in CONSOLE_EXEMPT and CONSOLE_RE.search(line):
+            problems.append(
+                f"{rel}:{lineno}: console output in library code; use "
+                "util/log.hpp or return data to the caller"
+            )
+
+
+def main() -> int:
+    problems: list[str] = []
+    for root in CODE_ROOTS:
+        if not root.is_dir():
+            continue
+        for path in iter_sources(root):
+            check_file(path, problems)
+    if problems:
+        print(f"lint.py: {len(problems)} problem(s)", file=sys.stderr)
+        for p in problems:
+            print(p, file=sys.stderr)
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
