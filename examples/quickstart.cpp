@@ -14,10 +14,13 @@
 #include "conference/subnetwork.hpp"
 #include "min/dot.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
 
 using namespace confnet;
 
 int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::kInfo);
   util::Cli cli("quickstart", "three conferences through one fabric");
   cli.add_int("n", 5, "log2 of the port count (N = 2^n)");
   cli.add_string("topology", "cube",
@@ -89,7 +92,10 @@ int main(int argc, char** argv) {
     }
 
     for (min::u32 h : handles) net->teardown(h);
-    std::cout << "all conferences torn down; fabric idle.\n";
+    std::cout << "all conferences torn down; fabric idle.\n\n";
+
+    // What the observability layer saw (see ARCHITECTURE.md §3).
+    obs::Registry::global().summary_table().print(std::cout);
     return 0;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';

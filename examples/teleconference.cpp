@@ -8,11 +8,14 @@
 #include "conference/designs.hpp"
 #include "sim/teletraffic.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 
 using namespace confnet;
 
 int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::kInfo);
   util::Cli cli("teleconference", "dynamic conference service simulation");
   cli.add_int("n", 8, "log2 of the port count");
   cli.add_string("design", "enhanced",
@@ -92,6 +95,11 @@ int main(int argc, char** argv) {
     t.row().cell("all audits passed").cell(r.functional_ok ? "yes" : "NO");
     t.row().cell("DES events").cell(r.events);
     t.print(std::cout);
+
+    // Cross-check against the observability layer: the registry counted
+    // the same run from inside the library (see ARCHITECTURE.md §3).
+    std::cout << '\n';
+    obs::Registry::global().summary_table().print(std::cout);
     return r.functional_ok ? 0 : 1;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -13,6 +13,12 @@
 //   * adversary:   explicit ConferenceSets achieving the bounds;
 //   * exhaustive:  brute force over every disjoint conference set (small N)
 //                  and every aligned buddy configuration (N <= 16).
+//
+// A fifth, dynamic check comes from the observability layer: the fabric
+// records per-level link-load histograms ("fabric/link_load{level=k}" in
+// the obs::Registry) during live evaluation, so any teletraffic run can be
+// compared against the closed forms here (see ARCHITECTURE.md §3 and the
+// metrics-snapshot notes in EXPERIMENTS.md).
 #pragma once
 
 #include <vector>

@@ -1,8 +1,42 @@
 #include "conference/session.hpp"
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace confnet::conf {
+
+namespace {
+
+/// Shared observability handles for every SessionManager instance: the
+/// registry aggregates across managers (and replications), matching the
+/// process-wide snapshot the bench `--json` artifacts record.
+struct SessionMetrics {
+  obs::Counter& attempts =
+      obs::Registry::global().counter("conf", "open_attempts");
+  obs::Counter& accepted =
+      obs::Registry::global().counter("conf", "open_accepted");
+  obs::Counter& blocked_placement =
+      obs::Registry::global().counter("conf", "blocked_placement");
+  obs::Counter& blocked_capacity =
+      obs::Registry::global().counter("conf", "blocked_capacity");
+  obs::Counter& closes = obs::Registry::global().counter("conf", "closes");
+  obs::Counter& joins = obs::Registry::global().counter("conf", "joins");
+  obs::Counter& joins_blocked =
+      obs::Registry::global().counter("conf", "joins_blocked");
+  obs::Counter& leaves = obs::Registry::global().counter("conf", "leaves");
+  obs::Gauge& active =
+      obs::Registry::global().gauge("conf", "active_sessions");
+  obs::Histogram& session_size = obs::Registry::global().histogram(
+      "conf", "session_size", obs::linear_buckets(2.0, 2.0, 16));
+
+  static SessionMetrics& get() {
+    static SessionMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 SessionManager::SessionManager(ConferenceNetworkBase& network,
                                PlacementPolicy policy)
@@ -10,10 +44,14 @@ SessionManager::SessionManager(ConferenceNetworkBase& network,
 
 std::pair<OpenResult, std::optional<u32>> SessionManager::open(
     u32 size, util::Rng& rng) {
+  SessionMetrics& m = SessionMetrics::get();
   ++stats_.attempts;
+  m.attempts.add();
   auto ports = placer_.place(size, rng);
   if (!ports) {
     ++stats_.blocked_placement;
+    m.blocked_placement.add();
+    obs::trace_emit("conf", "open_blocked_placement", size);
     CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
     return {OpenResult::kBlockedPlacement, std::nullopt};
   }
@@ -21,22 +59,33 @@ std::pair<OpenResult, std::optional<u32>> SessionManager::open(
   if (!handle) {
     placer_.release(*ports);
     ++stats_.blocked_capacity;
+    m.blocked_capacity.add();
+    obs::trace_emit("conf", "open_blocked_capacity", size);
     CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
     return {OpenResult::kBlockedCapacity, std::nullopt};
   }
   ++stats_.accepted;
+  m.accepted.add();
+  m.session_size.observe(size);
   const u32 id = next_session_++;
   sessions_.emplace(id, Session{std::move(*ports), *handle});
+  m.active.set(static_cast<double>(sessions_.size()));
+  obs::trace_emit("conf", "open_accepted", size);
   CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
   return {OpenResult::kAccepted, id};
 }
 
 void SessionManager::close(u32 session_id) {
+  SessionMetrics& m = SessionMetrics::get();
   const auto it = sessions_.find(session_id);
   expects(it != sessions_.end(), "close of unknown session");
   network_.teardown(it->second.handle);
   placer_.release(it->second.ports);
   sessions_.erase(it);
+  ++stats_.closes;
+  m.closes.add();
+  m.active.set(static_cast<double>(sessions_.size()));
+  obs::trace_emit("conf", "close", session_id);
   CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
 }
 
@@ -48,16 +97,21 @@ const std::vector<u32>& SessionManager::members_of(u32 session_id) const {
 
 std::pair<OpenResult, std::optional<u32>> SessionManager::join(
     u32 session_id, util::Rng& rng) {
+  SessionMetrics& m = SessionMetrics::get();
   const auto it = sessions_.find(session_id);
   expects(it != sessions_.end(), "join on unknown session");
   const auto port = placer_.expand(it->second.ports, rng);
   if (!port) {
     ++stats_.joins_blocked;
+    m.joins_blocked.add();
+    obs::trace_emit("conf", "join_blocked", session_id);
     return {OpenResult::kBlockedPlacement, std::nullopt};
   }
   if (!network_.add_member(it->second.handle, *port)) {
     placer_.release_one(*port);
     ++stats_.joins_blocked;
+    m.joins_blocked.add();
+    obs::trace_emit("conf", "join_blocked", session_id);
     return {OpenResult::kBlockedCapacity, std::nullopt};
   }
   it->second.ports.insert(
@@ -65,11 +119,14 @@ std::pair<OpenResult, std::optional<u32>> SessionManager::join(
                        *port),
       *port);
   ++stats_.joins;
+  m.joins.add();
+  obs::trace_emit("conf", "join", session_id);
   CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
   return {OpenResult::kAccepted, port};
 }
 
 bool SessionManager::leave(u32 session_id, u32 port) {
+  SessionMetrics& m = SessionMetrics::get();
   const auto it = sessions_.find(session_id);
   expects(it != sessions_.end(), "leave on unknown session");
   if (!network_.remove_member(it->second.handle, port)) return false;
@@ -80,6 +137,8 @@ bool SessionManager::leave(u32 session_id, u32 port) {
   it->second.ports.erase(pos);
   placer_.release_one(port);
   ++stats_.leaves;
+  m.leaves.add();
+  obs::trace_emit("conf", "leave", session_id);
   CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
   return true;
 }
@@ -102,6 +161,12 @@ void check_session_stats(const conf::SessionStats& stats,
           kSub, "attempts do not split into accepted + blocking causes");
   require(active_sessions <= stats.accepted, kSub,
           "more live sessions than accepted opens");
+  require(stats.closes <= stats.accepted, kSub,
+          "more closes than accepted opens");
+  // Sessions leave only through close(): the live count is exactly the
+  // open/close difference.
+  require(active_sessions + stats.closes == stats.accepted, kSub,
+          "live sessions disagree with accepted minus closed");
 }
 
 void check_session_manager(const conf::SessionManager& manager) {

@@ -21,11 +21,16 @@ enum class OpenResult : std::uint8_t {
   kBlockedCapacity,   // fabric link channels exhausted
 };
 
+/// Cumulative control-plane accounting. Every field is also published to
+/// the `conf` subsystem of the obs::Registry (per-cause blocking counters,
+/// an active-session gauge and a session-size histogram), so long-running
+/// services can snapshot the same quantities without polling managers.
 struct SessionStats {
   u64 attempts = 0;
   u64 accepted = 0;
   u64 blocked_placement = 0;
   u64 blocked_capacity = 0;
+  u64 closes = 0;
   u64 joins = 0;
   u64 joins_blocked = 0;
   u64 leaves = 0;

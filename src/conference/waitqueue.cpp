@@ -1,8 +1,38 @@
 #include "conference/waitqueue.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace confnet::conf {
+
+namespace {
+
+/// Shared observability handles for every WaitQueueManager instance.
+struct WaitMetrics {
+  obs::Counter& served_immediately =
+      obs::Registry::global().counter("conf", "wait_served_immediately");
+  obs::Counter& served_after_wait =
+      obs::Registry::global().counter("conf", "wait_served_after_wait");
+  obs::Counter& rejected =
+      obs::Registry::global().counter("conf", "wait_rejected");
+  obs::Counter& abandoned =
+      obs::Registry::global().counter("conf", "wait_abandoned");
+  obs::Gauge& queue_length =
+      obs::Registry::global().gauge("conf", "wait_queue_length");
+  obs::Histogram& queue_length_at_enqueue = obs::Registry::global().histogram(
+      "conf", "wait_queue_length_at_enqueue",
+      obs::linear_buckets(1.0, 1.0, 32));
+
+  static WaitMetrics& get() {
+    static WaitMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 WaitQueueManager::WaitQueueManager(ConferenceNetworkBase& network,
                                    PlacementPolicy policy,
@@ -14,6 +44,7 @@ WaitQueueManager::WaitQueueManager(ConferenceNetworkBase& network,
 
 WaitQueueManager::RequestResult WaitQueueManager::request(u32 size,
                                                           util::Rng& rng) {
+  WaitMetrics& m = WaitMetrics::get();
   // FIFO fairness: while anyone waits, new arrivals go behind them unless
   // bypass is enabled (then they may still try immediately).
   const bool must_queue = !queue_.empty() && !allow_bypass_;
@@ -21,15 +52,24 @@ WaitQueueManager::RequestResult WaitQueueManager::request(u32 size,
     const auto [outcome, session] = manager_.open(size, rng);
     if (outcome == OpenResult::kAccepted) {
       ++stats_.served_immediately;
+      m.served_immediately.add();
+      obs::trace_emit("wait", "served_immediately", size);
       return {RequestOutcome::kServed, session, std::nullopt};
     }
   }
   if (queue_.size() >= capacity_) {
     ++stats_.rejected;
+    m.rejected.add();
+    obs::trace_emit("wait", "rejected", size);
     return {RequestOutcome::kRejected, std::nullopt, std::nullopt};
   }
   const Ticket ticket{next_ticket_++, size};
   queue_.push_back(ticket);
+  stats_.max_queue_length = std::max(stats_.max_queue_length,
+                                     static_cast<u64>(queue_.size()));
+  m.queue_length.set(static_cast<double>(queue_.size()));
+  m.queue_length_at_enqueue.observe(static_cast<double>(queue_.size()));
+  obs::trace_emit("wait", "enqueued", size);
   CONFNET_AUDIT_HOOK(audit::check_waitqueue(*this));
   return {RequestOutcome::kQueued, std::nullopt, ticket};
 }
@@ -53,7 +93,11 @@ std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::process_queue(
       if (outcome == OpenResult::kAccepted) {
         served.push_back(ServedTicket{*it, *session});
         ++stats_.served_after_wait;
+        WaitMetrics& m = WaitMetrics::get();
+        m.served_after_wait.add();
+        obs::trace_emit("wait", "served_after_wait", it->size);
         queue_.erase(it);
+        m.queue_length.set(static_cast<double>(queue_.size()));
         progress = true;
         break;
       }
@@ -68,6 +112,10 @@ bool WaitQueueManager::abandon(Ticket ticket) {
     if (it->id == ticket.id) {
       queue_.erase(it);
       ++stats_.abandoned;
+      WaitMetrics& m = WaitMetrics::get();
+      m.abandoned.add();
+      m.queue_length.set(static_cast<double>(queue_.size()));
+      obs::trace_emit("wait", "abandoned", ticket.size);
       CONFNET_AUDIT_HOOK(audit::check_waitqueue(*this));
       return true;
     }

@@ -19,11 +19,16 @@ enum class RequestOutcome : std::uint8_t {
   kRejected,  // queue full
 };
 
+/// Admission accounting. Mirrored into the obs::Registry (`conf` subsystem:
+/// wait_* counters, a queue-length gauge and an at-enqueue queue-depth
+/// histogram) so hold-queue behaviour shows up in metrics snapshots.
 struct WaitStats {
   u64 served_immediately = 0;
   u64 served_after_wait = 0;
   u64 rejected = 0;
   u64 abandoned = 0;
+  /// Deepest the queue has ever been (including the enqueued request).
+  u64 max_queue_length = 0;
 
   [[nodiscard]] u64 total_served() const noexcept {
     return served_immediately + served_after_wait;

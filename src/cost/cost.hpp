@@ -9,6 +9,12 @@
 //   * a stage switch between links of channel multiplicity d_in / d_out is
 //     a (2*d_in) x (2*d_out) crossbar with 2*d_out combiners;
 //   * a k-to-1 multiplexer costs k-1 two-input mux gates.
+//
+// Consumed by bench_e5_cost (Table 5, direct vs enhanced vs crossbar) and
+// bench_e12_replication (dilation-vs-replication trade); EXPERIMENTS.md
+// records the expected shapes. All models are pure functions of (n,
+// dilation/planes) — no global state, safe to call from parallel
+// replications.
 #pragma once
 
 #include <cstdint>

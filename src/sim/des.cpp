@@ -1,8 +1,34 @@
 #include "sim/des.hpp"
 
+#include <chrono>
+
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace confnet::sim {
+
+namespace {
+
+/// Registry handles resolved once per process (function-local static), so
+/// the event loop pays one relaxed atomic op per update.
+struct SimMetrics {
+  obs::Counter& events = obs::Registry::global().counter("sim", "events");
+  obs::Counter& runs = obs::Registry::global().counter("sim", "runs");
+  obs::Gauge& queue_depth =
+      obs::Registry::global().gauge("sim", "queue_depth");
+  obs::Gauge& virtual_time =
+      obs::Registry::global().gauge("sim", "virtual_time");
+  obs::Gauge& virtual_time_rate =
+      obs::Registry::global().gauge("sim", "virtual_time_rate");
+
+  static SimMetrics& get() {
+    static SimMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 void Simulator::schedule(SimTime t, std::function<void()> fn) {
   expects(t >= now_, "cannot schedule events in the past");
@@ -10,6 +36,17 @@ void Simulator::schedule(SimTime t, std::function<void()> fn) {
 }
 
 void Simulator::run_until(SimTime t_end) {
+  SimMetrics& m = SimMetrics::get();
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+  const SimTime t_start = now_;
+  const std::uint64_t processed_before = processed_;
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (tracing) {
+    tracer.set_logical_time(now_);
+    obs::trace_emit("sim", "run_begin", t_end);
+  }
+
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
     const Event& top = queue_.top();
@@ -21,9 +58,28 @@ void Simulator::run_until(SimTime t_end) {
     queue_.pop();
     now_ = ev.time;
     ++processed_;
+    if (tracing) tracer.set_logical_time(now_);
     ev.fn();
   }
   if (queue_.empty() || queue_.top().time > t_end) now_ = t_end;
+  if (tracing) {
+    tracer.set_logical_time(now_);
+    obs::trace_emit("sim", "run_end",
+                    static_cast<double>(processed_ - processed_before));
+  }
+
+  // Observability: cumulative event count, instantaneous queue depth, and
+  // the virtual-time rate (simulated seconds per wall second) of this run.
+  m.events.add(processed_ - processed_before);
+  m.runs.add();
+  m.queue_depth.set(static_cast<double>(queue_.size()));
+  m.virtual_time.set(now_);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (wall_seconds > 0.0)
+    m.virtual_time_rate.set((now_ - t_start) / wall_seconds);
 }
 
 }  // namespace confnet::sim

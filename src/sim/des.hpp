@@ -3,6 +3,11 @@
 // Events at equal timestamps fire in scheduling order (a monotone sequence
 // number breaks ties), so a fixed RNG seed reproduces a run exactly — the
 // property every experiment harness in bench/ depends on.
+//
+// Observability: every run_until() publishes events-processed, queue depth
+// and the virtual-time rate to the `sim` subsystem of the obs::Registry,
+// and mirrors the logical clock into obs::Tracer (when enabled) so trace
+// records from the layers above carry simulation time, not wall time.
 #pragma once
 
 #include <cstdint>

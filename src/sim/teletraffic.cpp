@@ -4,6 +4,7 @@
 
 #include "sim/des.hpp"
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace confnet::sim {
 
@@ -29,6 +30,11 @@ TeletrafficResult run_teletraffic(conf::ConferenceNetworkBase& network,
           "teletraffic needs 0 <= warmup < duration");
   expects(network.active_count() == 0,
           "teletraffic needs a fresh network design");
+
+  // Key any enabled trace to this run's seed: identical seeds must dump
+  // byte-identical traces (the determinism contract of obs::Tracer).
+  if (obs::Tracer::global().enabled())
+    obs::Tracer::global().set_run_key(config.seed);
 
   Simulator des;
   util::Rng rng(config.seed);

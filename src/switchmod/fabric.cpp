@@ -1,9 +1,12 @@
 #include "switchmod/fabric.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/audit.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace confnet::sw {
 
@@ -15,6 +18,50 @@ std::size_t index_of(const std::vector<u32>& sorted_rows, u32 row) {
   if (it == sorted_rows.end() || *it != row)
     return static_cast<std::size_t>(-1);
   return static_cast<std::size_t>(it - sorted_rows.begin());
+}
+
+/// Shared observability handles for every Fabric instance. The live
+/// `peak_link_load` histogram is the dynamic face of the paper's conflict
+/// multiplicity: its max must stay within conference/multiplicity's
+/// analytic bound min(2^l, 2^(n-l)) for the workloads evaluated.
+struct FabricMetrics {
+  obs::Counter& evaluations =
+      obs::Registry::global().counter("fabric", "evaluations");
+  obs::Counter& overflow_links =
+      obs::Registry::global().counter("fabric", "overflow_links");
+  obs::Counter& fan_in_ops =
+      obs::Registry::global().counter("fabric", "fan_in_ops");
+  obs::Counter& fan_out_ops =
+      obs::Registry::global().counter("fabric", "fan_out_ops");
+  obs::Counter& capability_violations =
+      obs::Registry::global().counter("fabric", "capability_violations");
+  obs::Histogram& peak_link_load = obs::Registry::global().histogram(
+      "fabric", "peak_link_load", obs::linear_buckets(1.0, 1.0, 32));
+
+  static FabricMetrics& get() {
+    static FabricMetrics m;
+    return m;
+  }
+};
+
+/// Record the per-evaluate observations (called once per evaluate()).
+void publish_fabric_observations(const EvalReport& report, u32 n) {
+  FabricMetrics& m = FabricMetrics::get();
+  m.evaluations.add();
+  m.overflow_links.add(report.overflows.size());
+  m.fan_in_ops.add(report.fan_in_ops);
+  m.fan_out_ops.add(report.fan_out_ops);
+  m.capability_violations.add(report.capability_violations);
+  u32 peak = 0;
+  for (u32 level = 1; level < n; ++level) {
+    peak = std::max(peak, report.max_link_load[level]);
+    obs::Registry::global()
+        .histogram("fabric", "link_load", obs::linear_buckets(1.0, 1.0, 32),
+                   "level=" + std::to_string(level))
+        .observe(report.max_link_load[level]);
+  }
+  m.peak_link_load.observe(peak);
+  obs::trace_emit("fabric", "evaluate", peak);
 }
 }  // namespace
 
@@ -151,6 +198,7 @@ EvalReport Fabric::evaluate(const std::vector<GroupRealization>& groups) const {
     }
   }
 
+  publish_fabric_observations(report, n);
   return report;
 }
 

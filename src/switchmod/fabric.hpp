@@ -13,6 +13,12 @@
 // The engine is deliberately independent of the conference layer: it works
 // on plain `GroupRealization`s so the conference designs above it and the
 // unit tests below it share one notion of "what the hardware would do".
+//
+// Observability: every evaluate() publishes per-stage link-load and
+// peak-sharing observations to the `fabric` subsystem of the obs::Registry
+// (histograms `fabric/link_load{level=l}` and `fabric/peak_link_load`),
+// which makes the analytic conflict-multiplicity bounds of
+// conference/multiplicity.hpp cross-checkable against live traffic.
 #pragma once
 
 #include <optional>

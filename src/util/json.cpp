@@ -1,0 +1,128 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace confnet::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral doubles inside the exactly-representable range print without a
+  // fraction so counters round-trip as integers.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!comma_pending_.empty()) {
+    if (comma_pending_.back()) os_ << ',';
+    comma_pending_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  prefix();
+  os_ << '{';
+  comma_pending_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  expects(!comma_pending_.empty() && !after_key_,
+          "end_object outside a container or after a dangling key");
+  comma_pending_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  prefix();
+  os_ << '[';
+  comma_pending_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  expects(!comma_pending_.empty() && !after_key_,
+          "end_array outside a container or after a dangling key");
+  comma_pending_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  expects(!after_key_, "two consecutive keys without a value");
+  prefix();
+  os_ << '"' << json_escape(k) << "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  prefix();
+  os_ << '"' << json_escape(s) << '"';
+}
+
+void JsonWriter::value(double v) {
+  prefix();
+  os_ << json_number(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  prefix();
+  os_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  prefix();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  prefix();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  prefix();
+  os_ << "null";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  prefix();
+  os_ << json;
+}
+
+}  // namespace confnet::util

@@ -1,0 +1,70 @@
+// Minimal streaming JSON writer for machine-readable artifacts (metrics
+// snapshots, trace dumps, bench `--json` exports).
+//
+// Deliberately tiny: no DOM, no parsing. `JsonWriter` tracks nesting and
+// comma placement so emitters cannot produce malformed documents, and the
+// number formatting is deterministic (integral doubles print as integers,
+// everything else as shortest-round-trip "%.17g") so that two runs with
+// identical inputs serialize byte-identically — the property the trace
+// determinism tests assert.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace confnet::util {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes are NOT
+/// added by this function).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Deterministic JSON number rendering: integral values within the exact
+/// double range print without a fractional part; NaN/Inf (not representable
+/// in JSON) render as null.
+[[nodiscard]] std::string json_number(double v);
+
+/// Streaming writer with automatic comma/nesting bookkeeping.
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("answer"); w.value(std::uint64_t{42});
+///   w.key("rows");   w.begin_array(); w.value("a"); w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(const std::string& s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool v);
+  void null();
+
+  /// Splice an already-serialized JSON value (object, array, ...) into the
+  /// stream at a value position. The caller vouches for its validity.
+  void raw(std::string_view json);
+
+ private:
+  /// Emit the separating comma when a sibling precedes this token.
+  void prefix();
+
+  std::ostream& os_;
+  std::vector<bool> comma_pending_;
+  bool after_key_ = false;
+};
+
+}  // namespace confnet::util

@@ -1,0 +1,300 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace confnet::obs {
+
+void Gauge::add(double delta) noexcept {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  expects(!bounds_.empty(), "Histogram needs at least one bucket bound");
+  expects(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+              std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                  bounds_.end(),
+          "Histogram bounds must be strictly increasing");
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  double mx = max_.load(std::memory_order_relaxed);
+  while (v > mx &&
+         !max_.compare_exchange_weak(mx, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const noexcept {
+  const u64 n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  const std::vector<u64> counts = bucket_counts();
+  u64 total = 0;
+  for (const u64 c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  u64 cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const u64 next = cum + counts[i];
+    if (static_cast<double>(next) >= rank && counts[i] > 0) {
+      if (i == counts.size() - 1) return max_observed();  // overflow bucket
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+      const double inside =
+          (rank - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * inside;
+    }
+    cum = next;
+  }
+  return max_observed();
+}
+
+std::vector<u64> Histogram::bucket_counts() const {
+  std::vector<u64> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> linear_buckets(double start, double step,
+                                   std::size_t count) {
+  expects(step > 0.0 && count > 0, "linear_buckets needs step > 0, count > 0");
+  std::vector<double> out(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = start + step * static_cast<double>(i);
+  return out;
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  expects(start > 0.0 && factor > 1.0 && count > 0,
+          "exponential_buckets needs start > 0, factor > 1, count > 0");
+  std::vector<double> out(count);
+  double edge = start;
+  for (std::size_t i = 0; i < count; ++i, edge *= factor) out[i] = edge;
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+std::string Registry::make_key(std::string_view subsystem,
+                               std::string_view name, std::string_view label) {
+  expects(!subsystem.empty() && !name.empty(),
+          "metric subsystem and name must be non-empty");
+  std::string key;
+  key.reserve(subsystem.size() + name.size() + label.size() + 3);
+  key.append(subsystem).append("/").append(name);
+  if (!label.empty()) key.append("{").append(label).append("}");
+  return key;
+}
+
+Counter& Registry::counter(std::string_view subsystem, std::string_view name,
+                           std::string_view label) {
+  const std::string key = make_key(subsystem, name, label);
+  const std::scoped_lock lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (inserted) {
+    it->second.type = Type::kCounter;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  expects(it->second.type == Type::kCounter,
+          "metric already registered with a different type");
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(std::string_view subsystem, std::string_view name,
+                       std::string_view label) {
+  const std::string key = make_key(subsystem, name, label);
+  const std::scoped_lock lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (inserted) {
+    it->second.type = Type::kGauge;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  expects(it->second.type == Type::kGauge,
+          "metric already registered with a different type");
+  return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view subsystem,
+                               std::string_view name,
+                               std::vector<double> bounds,
+                               std::string_view label) {
+  const std::string key = make_key(subsystem, name, label);
+  const std::scoped_lock lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (inserted) {
+    it->second.type = Type::kHistogram;
+    it->second.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  expects(it->second.type == Type::kHistogram,
+          "metric already registered with a different type");
+  return *it->second.histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  const std::scoped_lock lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    switch (entry.type) {
+      case Type::kCounter:
+        snap.counters.push_back({key, entry.counter->value()});
+        break;
+      case Type::kGauge:
+        snap.gauges.push_back({key, entry.gauge->value()});
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        snap.histograms.push_back({key, h.count(), h.sum(), h.mean(),
+                                   h.quantile(0.5), h.quantile(0.9),
+                                   h.quantile(0.99), h.max_observed(),
+                                   h.bounds(), h.bucket_counts()});
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::size_t Registry::size() const {
+  const std::scoped_lock lock(mu_);
+  return entries_.size();
+}
+
+void Registry::reset_values() {
+  const std::scoped_lock lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    switch (entry.type) {
+      case Type::kCounter: entry.counter->reset(); break;
+      case Type::kGauge: entry.gauge->reset(); break;
+      case Type::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+void write_snapshot_json(std::ostream& os, const Snapshot& snap) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("counters");
+  w.begin_array();
+  for (const auto& c : snap.counters) {
+    w.begin_object();
+    w.key("name");
+    w.value(c.name);
+    w.key("value");
+    w.value(c.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("gauges");
+  w.begin_array();
+  for (const auto& g : snap.gauges) {
+    w.begin_object();
+    w.key("name");
+    w.value(g.name);
+    w.key("value");
+    w.value(g.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("histograms");
+  w.begin_array();
+  for (const auto& h : snap.histograms) {
+    w.begin_object();
+    w.key("name");
+    w.value(h.name);
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("mean");
+    w.value(h.mean);
+    w.key("p50");
+    w.value(h.p50);
+    w.key("p90");
+    w.value(h.p90);
+    w.key("p99");
+    w.value(h.p99);
+    w.key("max");
+    w.value(h.max);
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      w.begin_object();
+      w.key("le");
+      if (i < h.bounds.size())
+        w.value(h.bounds[i]);
+      else
+        w.value("+inf");
+      w.key("count");
+      w.value(h.buckets[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  write_snapshot_json(os, snapshot());
+}
+
+util::Table Registry::summary_table() const {
+  const Snapshot snap = snapshot();
+  util::Table t("metrics snapshot (confnet::obs registry)",
+                {"metric", "kind", "value / count", "mean", "p99", "max"});
+  for (const auto& c : snap.counters)
+    t.row().cell(c.name).cell("counter").cell(c.value).cell("-").cell("-").cell(
+        "-");
+  for (const auto& g : snap.gauges)
+    t.row()
+        .cell(g.name)
+        .cell("gauge")
+        .cell(util::format_double(g.value))
+        .cell("-")
+        .cell("-")
+        .cell("-");
+  for (const auto& h : snap.histograms)
+    t.row()
+        .cell(h.name)
+        .cell("histogram")
+        .cell(h.count)
+        .cell(h.mean, 4)
+        .cell(h.p99, 4)
+        .cell(h.max, 4);
+  return t;
+}
+
+}  // namespace confnet::obs

@@ -1,0 +1,200 @@
+// Lock-cheap process-wide metrics registry (`confnet::obs`).
+//
+// The observability layer behind EXPERIMENTS.md: the DES, the session /
+// wait-queue control plane and the switch fabric publish counters, gauges
+// and fixed-bucket histograms here, and every bench binary snapshots the
+// registry into its `--json` artifact so conflict multiplicity, blocking by
+// cause and routing latency are recorded per run instead of only appearing
+// in final printed tables.
+//
+// Concurrency model (chosen for the hot paths that call it):
+//   * registration/lookup takes a mutex — done once per call site, usually
+//     at first use through a function-local static handle;
+//   * updates are single relaxed atomic operations (counter add, gauge
+//     store, one bucket increment + CAS sum for histograms) — safe from the
+//     thread-pool replication runner and cheap enough for the DES loop;
+//   * handles returned by the registry have stable addresses for the
+//     registry's lifetime (values live behind unique_ptr in an ordered
+//     map), so callers may cache references.
+//
+// Snapshots iterate the ordered map, which makes JSON output byte-stable
+// for identical metric values — the property the bench-diff tooling
+// (tools/compare_bench.py) relies on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace confnet::obs {
+
+using u64 = std::uint64_t;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(u64 delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, active sessions, rates).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with quantile estimation.
+///
+/// `bounds` are strictly increasing upper bucket edges; an implicit
+/// overflow bucket catches everything above the last edge. Quantiles are
+/// estimated by linear interpolation inside the owning bucket (Prometheus
+/// semantics), exact at bucket edges.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] u64 count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+  /// Estimated q-quantile (q in [0,1]); 0 when empty. Values beyond the
+  /// last edge clamp to the maximum observed value.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double max_observed() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Cumulative-free per-bucket counts (bounds().size() + 1 entries, the
+  /// last one the overflow bucket).
+  [[nodiscard]] std::vector<u64> bucket_counts() const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<u64>> buckets_;  // bounds_.size() + 1
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Convenience bucket layouts.
+[[nodiscard]] std::vector<double> linear_buckets(double start, double step,
+                                                 std::size_t count);
+[[nodiscard]] std::vector<double> exponential_buckets(double start,
+                                                      double factor,
+                                                      std::size_t count);
+
+/// Point-in-time copy of every registered metric.
+struct Snapshot {
+  struct CounterValue {
+    std::string name;  // "subsystem/name" or "subsystem/name{label}"
+    u64 value;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value;
+  };
+  struct HistogramValue {
+    std::string name;
+    u64 count;
+    double sum;
+    double mean;
+    double p50, p90, p99;
+    double max;
+    std::vector<double> bounds;
+    std::vector<u64> buckets;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Process-wide registry. Metric identity is (subsystem, name, label); the
+/// label is optional and freeform ("level=3"). Re-registering an existing
+/// identity returns the existing instance; registering the same identity as
+/// a different metric type throws `Error`.
+class Registry {
+ public:
+  /// The shared registry every confnet subsystem publishes into.
+  [[nodiscard]] static Registry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view subsystem,
+                                 std::string_view name,
+                                 std::string_view label = {});
+  [[nodiscard]] Gauge& gauge(std::string_view subsystem,
+                             std::string_view name,
+                             std::string_view label = {});
+  /// `bounds` are used only on first registration of this identity.
+  [[nodiscard]] Histogram& histogram(std::string_view subsystem,
+                                     std::string_view name,
+                                     std::vector<double> bounds,
+                                     std::string_view label = {});
+
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Zero every registered metric (handles stay valid). Tests and bench
+  /// harnesses call this between phases; instrumented code never does.
+  void reset_values();
+
+  /// Serialize a snapshot as one JSON object (counters / gauges /
+  /// histograms arrays, deterministically ordered by metric name).
+  void write_json(std::ostream& os) const;
+
+  /// Human-readable snapshot (name, count/value, mean, p99) for example
+  /// binaries to print as a closing summary.
+  [[nodiscard]] util::Table summary_table() const;
+
+ private:
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Type type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  [[nodiscard]] static std::string make_key(std::string_view subsystem,
+                                            std::string_view name,
+                                            std::string_view label);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Serialize an already-taken snapshot (same format as
+/// Registry::write_json).
+void write_snapshot_json(std::ostream& os, const Snapshot& snap);
+
+}  // namespace confnet::obs

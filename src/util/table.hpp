@@ -30,6 +30,16 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+  // Structured access for machine-readable exporters (bench --json).
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
   /// Render as an aligned text table.
   void print(std::ostream& os) const;
 

@@ -1,0 +1,111 @@
+#include "util/trace.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace confnet::obs {
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+void Tracer::enable(std::size_t capacity) {
+  expects(capacity > 0, "tracer ring capacity must be positive");
+  const std::scoped_lock lock(mu_);
+  ring_.clear();
+  ring_.reserve(capacity);
+  capacity_ = capacity;
+  head_ = 0;
+  next_seq_ = 0;
+  dropped_ = 0;
+  logical_time_.store(0.0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() noexcept {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  next_seq_ = 0;
+  dropped_ = 0;
+  logical_time_.store(0.0, std::memory_order_relaxed);
+}
+
+void Tracer::set_run_key(std::uint64_t seed) {
+  const std::scoped_lock lock(mu_);
+  run_key_ = seed;
+}
+
+void Tracer::record(const char* category, const char* name,
+                    double value) noexcept {
+  if (!enabled()) return;
+  const double t = logical_time_.load(std::memory_order_relaxed);
+  const std::scoped_lock lock(mu_);
+  if (capacity_ == 0) return;  // enable() not called yet
+  TraceEvent ev{next_seq_++, t, category, name, value};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);  // within reserved storage: no allocation
+  } else {
+    ring_[head_] = ev;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::size_t Tracer::size() const {
+  const std::scoped_lock lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::scoped_lock lock(mu_);
+  return dropped_;
+}
+
+void Tracer::dump_jsonl(std::ostream& os) const {
+  const std::scoped_lock lock(mu_);
+  {
+    util::JsonWriter w(os);
+    w.begin_object();
+    w.key("trace");
+    w.value("confnet");
+    w.key("version");
+    w.value(std::uint64_t{1});
+    w.key("seed");
+    w.value(run_key_);
+    w.key("events");
+    w.value(static_cast<std::uint64_t>(ring_.size()));
+    w.key("dropped");
+    w.value(dropped_);
+    w.end_object();
+  }
+  os << '\n';
+  const auto emit = [&os](const TraceEvent& ev) {
+    util::JsonWriter w(os);
+    w.begin_object();
+    w.key("seq");
+    w.value(ev.seq);
+    w.key("t");
+    w.value(ev.time);
+    w.key("cat");
+    w.value(ev.category);
+    w.key("name");
+    w.value(ev.name);
+    w.key("value");
+    w.value(ev.value);
+    w.end_object();
+    os << '\n';
+  };
+  // Oldest-first: [head_, end) wrapped before [0, head_).
+  for (std::size_t i = head_; i < ring_.size(); ++i) emit(ring_[i]);
+  for (std::size_t i = 0; i < head_; ++i) emit(ring_[i]);
+}
+
+}  // namespace confnet::obs

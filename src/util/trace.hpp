@@ -1,0 +1,96 @@
+// Deterministic structured event tracing (`confnet::obs::Tracer`).
+//
+// A ring buffer of fixed-size records that instrumented subsystems append
+// to through `obs::trace_emit`. Three properties drive the design:
+//
+//   * Zero cost when disabled: the emit path is one relaxed atomic load
+//     and a branch — no allocation, no locking, no formatting. Category /
+//     name arguments must be string literals (static storage duration) so
+//     the disabled path never copies them; the enabled path stores only the
+//     pointers.
+//   * Deterministic: records carry the DES logical clock (mirrored into
+//     the tracer by sim::Simulator), never wall-clock time, and the dump is
+//     keyed by the run's RNG seed — two runs with the same seed produce
+//     byte-identical JSON-lines dumps (asserted by util_trace_test).
+//   * Bounded: the ring overwrites the oldest records once full and counts
+//     what it dropped, so tracing a long simulation cannot exhaust memory.
+//
+// Dump format: one JSON object per line; the first line is a header with
+// the seed and record accounting, each following line one record in append
+// order (oldest surviving record first).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace confnet::obs {
+
+/// One trace record. `category` / `name` point at string literals.
+struct TraceEvent {
+  std::uint64_t seq = 0;   // global append order
+  double time = 0.0;       // DES logical time at emission (0 outside a sim)
+  const char* category = "";
+  const char* name = "";
+  double value = 0.0;      // event payload (size, cause code, peak, ...)
+};
+
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& global();
+
+  /// Arm the tracer with a ring of `capacity` records (allocates now, so
+  /// the record path never does). Clears any previous records.
+  void enable(std::size_t capacity);
+  void disable() noexcept;
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drop all records (and the dropped count) but stay enabled.
+  void clear();
+
+  /// Key the next dump to the run's RNG seed.
+  void set_run_key(std::uint64_t seed);
+
+  /// Mirror of the DES clock; emitted records are stamped with it. Cheap
+  /// relaxed store; the simulator only calls it while tracing is enabled.
+  void set_logical_time(double t) noexcept {
+    logical_time_.store(t, std::memory_order_relaxed);
+  }
+
+  /// Append a record (enabled tracer only; `trace_emit` below is the
+  /// checked front door).
+  void record(const char* category, const char* name, double value) noexcept;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// JSON-lines dump: header line, then records oldest-first.
+  void dump_jsonl(std::ostream& os) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<double> logical_time_{0.0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  // next slot to write once the ring wrapped
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t run_key_ = 0;
+};
+
+/// The instrumentation entry point: a no-op (single relaxed load) when
+/// tracing is disabled. `category` and `name` MUST be string literals.
+inline void trace_emit(const char* category, const char* name,
+                       double value = 0.0) noexcept {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  tracer.record(category, name, value);
+}
+
+}  // namespace confnet::obs

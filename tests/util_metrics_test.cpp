@@ -1,0 +1,203 @@
+// Semantics of the obs::Registry metrics primitives: counter / gauge /
+// histogram arithmetic, identity (subsystem, name, label) uniqueness and
+// type safety, snapshot determinism, JSON shape, and a thread-safety smoke
+// that the TSan preset turns into a real data-race check.
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace confnet {
+namespace {
+
+using obs::Registry;
+
+TEST(MetricsCounter, AddsAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsGauge, SetAndAdd) {
+  obs::Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsHistogram, CountsSumsAndBuckets) {
+  obs::Histogram h(obs::linear_buckets(1.0, 1.0, 4));  // edges 1,2,3,4
+  for (double v : {0.5, 1.0, 1.5, 2.0, 3.5, 10.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 18.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 18.5 / 6.0);
+  EXPECT_DOUBLE_EQ(h.max_observed(), 10.0);
+  // lower_bound bucketing: v <= edge lands at the first edge >= v.
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 5u);  // 4 edges + overflow
+  EXPECT_EQ(buckets[0], 2u);      // 0.5, 1.0
+  EXPECT_EQ(buckets[1], 2u);      // 1.5, 2.0
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);      // 3.5
+  EXPECT_EQ(buckets[4], 1u);      // 10.0 overflow
+}
+
+TEST(MetricsHistogram, QuantileInterpolatesAndClamps) {
+  obs::Histogram h(obs::linear_buckets(1.0, 1.0, 10));
+  for (int i = 0; i < 100; ++i) h.observe(5.0);
+  // All mass in the (4,5] bucket: every quantile lands inside it.
+  EXPECT_GE(h.quantile(0.5), 4.0);
+  EXPECT_LE(h.quantile(0.5), 5.0);
+  EXPECT_GE(h.quantile(0.99), 4.0);
+  // Overflow-bucket quantiles clamp to the observed maximum.
+  h.observe(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  // Empty histogram quantiles are 0.
+  obs::Histogram empty(obs::linear_buckets(1.0, 1.0, 2));
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(MetricsHistogram, RejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({}), Error);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), Error);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), Error);
+}
+
+TEST(MetricsBuckets, Layouts) {
+  EXPECT_EQ(obs::linear_buckets(1.0, 2.0, 3),
+            (std::vector<double>{1.0, 3.0, 5.0}));
+  EXPECT_EQ(obs::exponential_buckets(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_THROW(obs::linear_buckets(0.0, 0.0, 3), Error);
+  EXPECT_THROW(obs::exponential_buckets(0.0, 2.0, 3), Error);
+}
+
+TEST(MetricsRegistry, IdentityIsSubsystemNameLabel) {
+  Registry reg;
+  obs::Counter& a = reg.counter("test", "hits");
+  obs::Counter& b = reg.counter("test", "hits");
+  EXPECT_EQ(&a, &b);  // same identity -> same instance
+  obs::Counter& c = reg.counter("test", "hits", "level=1");
+  EXPECT_NE(&a, &c);  // label distinguishes
+  obs::Counter& d = reg.counter("other", "hits");
+  EXPECT_NE(&a, &d);  // subsystem distinguishes
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, TypeCollisionThrows) {
+  Registry reg;
+  (void)reg.counter("test", "metric");
+  EXPECT_THROW((void)reg.gauge("test", "metric"), Error);
+  EXPECT_THROW((void)reg.histogram("test", "metric", {1.0}), Error);
+  EXPECT_THROW((void)reg.counter("", "metric"), Error);
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedAtFirstRegistration) {
+  Registry reg;
+  obs::Histogram& h1 = reg.histogram("test", "h", {1.0, 2.0});
+  obs::Histogram& h2 = reg.histogram("test", "h", {5.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistry, SnapshotOrderedAndResettable) {
+  Registry reg;
+  reg.counter("b", "second").add(2);
+  reg.counter("a", "first").add(1);
+  reg.gauge("z", "gauge").set(3.0);
+  reg.histogram("m", "hist", {1.0, 10.0}).observe(4.0);
+
+  const obs::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  // std::map ordering: deterministic, name-sorted output.
+  EXPECT_EQ(snap.counters[0].name, "a/first");
+  EXPECT_EQ(snap.counters[1].name, "b/second");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 3.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 4.0);
+
+  reg.reset_values();
+  const obs::Snapshot zero = reg.snapshot();
+  EXPECT_EQ(zero.counters[0].value, 0u);
+  EXPECT_EQ(zero.histograms[0].count, 0u);
+  // Handles stay valid across reset.
+  reg.counter("a", "first").add(7);
+  EXPECT_EQ(reg.snapshot().counters[0].value, 7u);
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsWellFormedAndStable) {
+  Registry reg;
+  reg.counter("sim", "events").add(12);
+  reg.gauge("sim", "queue_depth").set(0.5);
+  reg.histogram("fabric", "peak", {1.0, 2.0}, "level=1").observe(1.0);
+
+  std::ostringstream a, b;
+  reg.write_json(a);
+  reg.write_json(b);
+  EXPECT_EQ(a.str(), b.str());  // byte-stable for identical values
+  EXPECT_NE(a.str().find("\"sim/events\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"fabric/peak{level=1}\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"+inf\""), std::string::npos);
+
+  const util::Table t = reg.summary_table();
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(MetricsRegistry, GlobalIsProcessWideSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+  obs::Counter& c = Registry::global().counter("metrics_test", "global_smoke");
+  const obs::u64 before = c.value();
+  c.add();
+  EXPECT_EQ(c.value(), before + 1);
+}
+
+// Thread-safety smoke: concurrent registration of the same identities plus
+// concurrent updates must neither race (TSan preset) nor lose counts.
+TEST(MetricsRegistry, ConcurrentRegistrationAndUpdates) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      obs::Counter& c = reg.counter("smoke", "shared");
+      obs::Histogram& h =
+          reg.histogram("smoke", "hist", obs::linear_buckets(1.0, 1.0, 8));
+      obs::Gauge& g = reg.gauge("smoke", "gauge");
+      for (int i = 0; i < kIncrements; ++i) {
+        c.add();
+        h.observe(static_cast<double>(i % 10));
+        g.add(1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counter("smoke", "shared").value(),
+            static_cast<obs::u64>(kThreads) * kIncrements);
+  obs::Histogram& h =
+      reg.histogram("smoke", "hist", obs::linear_buckets(1.0, 1.0, 8));
+  EXPECT_EQ(h.count(), static_cast<obs::u64>(kThreads) * kIncrements);
+  obs::u64 bucket_total = 0;
+  for (const obs::u64 b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count());
+  EXPECT_DOUBLE_EQ(reg.gauge("smoke", "gauge").value(),
+                   static_cast<double>(kThreads) * kIncrements);
+}
+
+}  // namespace
+}  // namespace confnet

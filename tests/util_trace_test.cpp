@@ -1,0 +1,170 @@
+// obs::Tracer contract tests: byte-identical dumps for same-seed runs, an
+// exactly-empty and allocation-free emit path while disabled, ring-buffer
+// wrap accounting, and the JSON-lines dump format.
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "conference/designs.hpp"
+#include "conference/session.hpp"
+#include "sim/teletraffic.hpp"
+#include "util/rng.hpp"
+
+// --- Global allocation counting -------------------------------------------
+// Replaces the global allocation functions so the disabled-tracer test can
+// assert trace_emit performs ZERO allocations. Counting is toggled to keep
+// the bookkeeping cheap everywhere else.
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::size_t> g_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace confnet {
+namespace {
+
+using obs::Tracer;
+
+/// Fresh tracer state for each test (the tracer is a process singleton).
+void reset_tracer() {
+  Tracer::global().disable();
+  Tracer::global().enable(1024);
+  Tracer::global().set_run_key(0);
+}
+
+TEST(Trace, DisabledTracerEmitsNothingAndNeverAllocates) {
+  Tracer& tracer = Tracer::global();
+  tracer.enable(16);
+  tracer.disable();
+  ASSERT_FALSE(tracer.enabled());
+
+  g_allocs.store(0);
+  g_count_allocs.store(true);
+  for (int i = 0; i < 1000; ++i)
+    obs::trace_emit("test", "noop", static_cast<double>(i));
+  g_count_allocs.store(false);
+
+  EXPECT_EQ(g_allocs.load(), 0u);   // emit path: one atomic load, no news
+  EXPECT_EQ(tracer.size(), 0u);     // and nothing was recorded
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Trace, EnabledPathRecordsWithoutAllocating) {
+  reset_tracer();
+  Tracer& tracer = Tracer::global();
+  // The ring was reserved by enable(); steady-state appends must not touch
+  // the allocator either.
+  g_allocs.store(0);
+  g_count_allocs.store(true);
+  for (int i = 0; i < 512; ++i)
+    obs::trace_emit("test", "event", static_cast<double>(i));
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_allocs.load(), 0u);
+  EXPECT_EQ(tracer.size(), 512u);
+  tracer.disable();
+}
+
+TEST(Trace, RingWrapsAndCountsDrops) {
+  Tracer& tracer = Tracer::global();
+  tracer.enable(4);
+  for (int i = 0; i < 10; ++i)
+    obs::trace_emit("test", "tick", static_cast<double>(i));
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+
+  std::ostringstream out;
+  tracer.dump_jsonl(out);
+  const std::string dump = out.str();
+  // Oldest surviving record first: values 6..9 in order.
+  const auto pos6 = dump.find("\"value\":6");
+  const auto pos9 = dump.find("\"value\":9");
+  EXPECT_NE(pos6, std::string::npos);
+  EXPECT_NE(pos9, std::string::npos);
+  EXPECT_LT(pos6, pos9);
+  EXPECT_EQ(dump.find("\"value\":5"), std::string::npos);
+  EXPECT_NE(dump.find("\"dropped\":6"), std::string::npos);
+  tracer.disable();
+}
+
+TEST(Trace, DumpIsJsonLinesWithHeader) {
+  reset_tracer();
+  Tracer::global().set_run_key(1040861);
+  obs::trace_emit("conf", "open_accepted", 4.0);
+  std::ostringstream out;
+  Tracer::global().dump_jsonl(out);
+  const std::string dump = out.str();
+  // Header carries the seed; every line is one JSON object.
+  EXPECT_EQ(dump.find("{\"trace\":\"confnet\",\"version\":1,\"seed\":1040861"),
+            0u);
+  std::istringstream lines(dump);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(count, 2u);  // header + one record
+  Tracer::global().disable();
+}
+
+/// One short dynamic-traffic run with tracing on, returning the dump.
+std::string traced_run(std::uint64_t seed) {
+  Tracer::global().enable(1 << 14);
+  conf::DirectConferenceNetwork net(min::Kind::kIndirectCube, 4,
+                                    conf::DilationProfile::uniform(4, 1));
+  sim::TeletrafficConfig c;
+  c.traffic.arrival_rate = 2.0;
+  c.traffic.min_size = 2;
+  c.traffic.max_size = 6;
+  c.duration = 50.0;
+  c.warmup = 5.0;
+  c.seed = seed;
+  c.membership_churn = true;
+  (void)sim::run_teletraffic(net, c);
+  std::ostringstream out;
+  Tracer::global().dump_jsonl(out);
+  Tracer::global().disable();
+  return out.str();
+}
+
+TEST(Trace, SameSeedRunsDumpByteIdentical) {
+  const std::string first = traced_run(42);
+  const std::string second = traced_run(42);
+  EXPECT_EQ(first, second);
+  // The run actually traced the control plane and carried its seed.
+  EXPECT_EQ(first.find("{\"trace\":\"confnet\",\"version\":1,\"seed\":42"), 0u);
+  EXPECT_NE(first.find("\"cat\":\"conf\""), std::string::npos);
+  EXPECT_NE(first.find("\"cat\":\"sim\""), std::string::npos);
+  // Records carry the DES logical clock, never wall time.
+  EXPECT_NE(first.find("\"t\":"), std::string::npos);
+}
+
+TEST(Trace, DifferentSeedsDumpDifferently) {
+  const std::string a = traced_run(1);
+  const std::string b = traced_run(2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace confnet

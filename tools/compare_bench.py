@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Diff two bench --json artifacts and flag regressions.
+
+Usage:
+    python3 tools/compare_bench.py BASELINE.json CANDIDATE.json \
+        [--tolerance 0.05] [--metric-tolerance 0.20]
+
+Compares, in order:
+  1. Tables (the reconstructed paper artifacts). Tables are matched by
+     title; rows cell-by-cell. Numeric cells compare within a relative
+     `--tolerance` (default 5%); non-numeric cells must match exactly.
+     A changed closed-form/exhaustive number is a CORRECTNESS regression.
+  2. Metrics counters that encode failures (overflows, blocking, capability
+     violations): any increase beyond `--metric-tolerance` (default 20%,
+     absolute slack of 1 for near-zero baselines) is flagged as a
+     regression; other counters are reported informationally.
+
+Exit status: 0 = no regressions, 1 = regressions found, 2 = usage error.
+The human-readable diff goes to stdout either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Counters whose growth (relative to the same workload) signals trouble.
+REGRESSION_COUNTERS = (
+    "fabric/overflow_links",
+    "fabric/capability_violations",
+    "conf/blocked_placement",
+    "conf/blocked_capacity",
+    "conf/joins_blocked",
+    "conf/wait_rejected",
+)
+
+
+def as_number(cell: str):
+    """Parse a table cell as a float, or None when it is not numeric."""
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def close(a: float, b: float, tolerance: float) -> bool:
+    scale = max(abs(a), abs(b))
+    return abs(a - b) <= tolerance * scale + 1e-12
+
+
+def compare_tables(base: dict, cand: dict, tolerance: float,
+                   problems: list[str], infos: list[str]) -> None:
+    base_tables = {t["title"]: t for t in base.get("tables", [])}
+    cand_tables = {t["title"]: t for t in cand.get("tables", [])}
+    for title in base_tables:
+        if title not in cand_tables:
+            problems.append(f"table dropped: '{title}'")
+    for title in cand_tables:
+        if title not in base_tables:
+            infos.append(f"table added: '{title}'")
+    for title, bt in base_tables.items():
+        ct = cand_tables.get(title)
+        if ct is None:
+            continue
+        if bt["columns"] != ct["columns"]:
+            problems.append(f"table '{title}': columns changed "
+                            f"{bt['columns']} -> {ct['columns']}")
+            continue
+        if len(bt["rows"]) != len(ct["rows"]):
+            problems.append(f"table '{title}': row count "
+                            f"{len(bt['rows'])} -> {len(ct['rows'])}")
+            continue
+        for r, (brow, crow) in enumerate(zip(bt["rows"], ct["rows"])):
+            for c, (bcell, ccell) in enumerate(zip(brow, crow)):
+                if bcell == ccell:
+                    continue
+                bnum, cnum = as_number(bcell), as_number(ccell)
+                col = bt["columns"][c] if c < len(bt["columns"]) else c
+                where = f"table '{title}' row {r} [{col}]"
+                if bnum is None or cnum is None:
+                    problems.append(f"{where}: '{bcell}' -> '{ccell}'")
+                elif not close(bnum, cnum, tolerance):
+                    problems.append(
+                        f"{where}: {bcell} -> {ccell} "
+                        f"(beyond {tolerance:.0%} tolerance)")
+
+
+def counter_map(doc: dict) -> dict[str, int]:
+    return {c["name"]: c["value"]
+            for c in doc.get("metrics", {}).get("counters", [])}
+
+
+def compare_metrics(base: dict, cand: dict, metric_tolerance: float,
+                    problems: list[str], infos: list[str]) -> None:
+    bc, cc = counter_map(base), counter_map(cand)
+    for name in sorted(set(bc) | set(cc)):
+        b, c = bc.get(name, 0), cc.get(name, 0)
+        if b == c:
+            continue
+        line = f"counter {name}: {b} -> {c}"
+        is_failure_counter = any(name.startswith(p)
+                                 for p in REGRESSION_COUNTERS)
+        if is_failure_counter and c > b * (1.0 + metric_tolerance) + 1:
+            problems.append(f"{line} (failure counter grew "
+                            f"beyond {metric_tolerance:.0%})")
+        else:
+            infos.append(line)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two bench --json artifacts.")
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative tolerance for numeric table cells")
+    parser.add_argument("--metric-tolerance", type=float, default=0.20,
+                        help="allowed relative growth of failure counters")
+    args = parser.parse_args()
+
+    try:
+        base = json.loads(args.baseline.read_text(encoding="utf-8"))
+        cand = json.loads(args.candidate.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read input: {exc}", file=sys.stderr)
+        return 2
+
+    if base.get("experiment") != cand.get("experiment"):
+        print(f"warning: comparing different experiments "
+              f"({base.get('experiment')} vs {cand.get('experiment')})")
+
+    problems: list[str] = []
+    infos: list[str] = []
+    compare_tables(base, cand, args.tolerance, problems, infos)
+    compare_metrics(base, cand, args.metric_tolerance, problems, infos)
+
+    header = (f"{base.get('experiment', '?')}: "
+              f"{args.baseline.name} vs {args.candidate.name}")
+    print(header)
+    for line in infos:
+        print(f"  info: {line}")
+    if problems:
+        print(f"  {len(problems)} REGRESSION(S):")
+        for line in problems:
+            print(f"  FAIL: {line}")
+        return 1
+    print("  no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,10 @@ sanitizer jobs. Enforced conventions:
   4. No std::cout / std::cerr / std::printf in library code (src/),
      except the designated user-facing sinks (util/cli.cpp prints usage,
      util/log.cpp is the logging backend).
+  5. Every header under src/ opens with a file-level `//` comment block
+     (before `#pragma once`) saying what the module is for. This is the
+     documentation gate: a header nobody can describe in a sentence is a
+     header nobody can review.
 
 Exit status 0 when clean; 1 with one "file:line: message" per finding.
 """
@@ -76,6 +80,11 @@ def check_file(path: Path, problems: list[str]) -> None:
             problems.append(
                 f"{rel}:1: header must open with `#pragma once` "
                 "(after the leading comment block)"
+            )
+        if not (lines and lines[0].lstrip().startswith("//")):
+            problems.append(
+                f"{rel}:1: header must start with a file-level `//` "
+                "comment describing the module"
             )
 
     in_block_comment = False

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate bench --json artifacts against tools/bench_schema.json.
+
+Usage:
+    python3 tools/validate_bench.py BENCH_e1.json [BENCH_e2.json ...]
+
+Uses the `jsonschema` package when available; otherwise falls back to a
+dependency-free validator covering the subset of JSON Schema draft-07 the
+checked-in schema uses (type, enum, required, properties,
+additionalProperties, items, minItems, minLength, minimum). CI therefore
+never needs to install anything.
+
+Exit status 0 when every file validates; 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "bench_schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, names) -> bool:
+    if isinstance(names, str):
+        names = [names]
+    for name in names:
+        if name == "integer":
+            if isinstance(value, int) and not isinstance(value, bool):
+                return True
+        elif name == "number":
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return True
+        elif isinstance(value, _TYPES[name]):
+            return True
+    return False
+
+
+def _validate(value, schema: dict, path: str, errors: list[str]) -> None:
+    if "type" in schema and not _type_ok(value, schema["type"]):
+        errors.append(f"{path}: expected type {schema['type']}, "
+                      f"got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+    if isinstance(value, str) and len(value) < schema.get("minLength", 0):
+        errors.append(f"{path}: string shorter than minLength "
+                      f"{schema['minLength']}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required member '{req}'")
+        props = schema.get("properties", {})
+        if schema.get("additionalProperties", True) is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected member '{key}'")
+        for key, sub in props.items():
+            if key in value:
+                _validate(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            errors.append(f"{path}: fewer than minItems "
+                          f"{schema['minItems']} entries")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                _validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_document(doc, schema: dict) -> list[str]:
+    """Validate `doc`; returns a list of problems (empty when valid)."""
+    try:
+        import jsonschema  # type: ignore
+
+        validator = jsonschema.Draft7Validator(schema)
+        return [
+            f"$.{'.'.join(str(p) for p in e.absolute_path)}: {e.message}"
+            for e in validator.iter_errors(doc)
+        ]
+    except ImportError:
+        errors: list[str] = []
+        _validate(doc, schema, "$", errors)
+        return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    status = 0
+    for name in argv[1:]:
+        try:
+            doc = json.loads(Path(name).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{name}: unreadable: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_document(doc, schema)
+        if problems:
+            status = 1
+            print(f"{name}: {len(problems)} schema violation(s)",
+                  file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+        else:
+            print(f"{name}: ok "
+                  f"({len(doc.get('tables', []))} tables, "
+                  f"{len(doc['metrics']['counters'])} counters, "
+                  f"{len(doc['metrics']['histograms'])} histograms)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
