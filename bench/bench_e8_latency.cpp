@@ -4,6 +4,8 @@
 // delivery (the enhanced cube exits early at its mux tap; direct designs
 // always cross all n stages), carried load, and concurrent-speaker
 // statistics that size the fan-in (mixing) work.
+#include <cstdint>
+
 #include "bench_common.hpp"
 #include "sim/teletraffic.hpp"
 #include "util/bits.hpp"
@@ -105,6 +107,45 @@ void BM_TalkSpurtSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_TalkSpurtSimulation)
     ->DenseRange(5, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Steady-state teletraffic event rate at N=64 with frequent functional
+/// verification. range(0) selects the verification path: 0 = incremental
+/// FabricState (`verify_delivery`), 1 = stateless Fabric::evaluate rebuild
+/// (`verify_delivery_reference`). items_per_second is the event rate; the
+/// ratio between the two rows is the incremental-evaluation speedup.
+void BM_SteadyStateEventRate(benchmark::State& state) {
+  const u32 n = 6;
+  const bool reference = state.range(0) != 0;
+  std::uint64_t seed = 17;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    DirectConferenceNetwork net(Kind::kIndirectCube, n,
+                                DilationProfile::full(n));
+    sim::TeletrafficConfig c;
+    c.traffic.arrival_rate = 4.0;
+    c.traffic.mean_holding = 2.0;
+    c.traffic.min_size = 2;
+    c.traffic.max_size = 10;
+    c.policy = PlacementPolicy::kRandom;
+    c.duration = 200.0;
+    c.warmup = 20.0;
+    c.membership_churn = true;
+    c.verify_functional = true;
+    c.verify_interval = 0.1;
+    c.verify_reference = reference;
+    c.seed = seed++;
+    const auto r = sim::run_teletraffic(net, c);
+    if (!r.functional_ok) state.SkipWithError("functional check failed");
+    events += static_cast<std::int64_t>(r.events);
+  }
+  state.SetItemsProcessed(events);
+  state.SetLabel(reference ? "verify=reference(full evaluate)"
+                           : "verify=incremental(FabricState)");
+}
+BENCHMARK(BM_SteadyStateEventRate)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -52,11 +52,53 @@ u64 DilationProfile::total_channels() const {
 // DirectConferenceNetwork
 // ---------------------------------------------------------------------------
 
+namespace {
+std::vector<u32> dilation_capacity(const DilationProfile& dilation) {
+  std::vector<u32> caps(dilation.n() + 1);
+  for (u32 l = 0; l <= dilation.n(); ++l) caps[l] = dilation.channels(l);
+  return caps;
+}
+
+std::vector<u32> with_member(const std::vector<u32>& members, u32 port) {
+  std::vector<u32> grown = members;
+  grown.insert(std::lower_bound(grown.begin(), grown.end(), port), port);
+  return grown;
+}
+
+std::vector<u32> without_member(const std::vector<u32>& members, u32 port) {
+  std::vector<u32> shrunk = members;
+  shrunk.erase(std::lower_bound(shrunk.begin(), shrunk.end(), port));
+  return shrunk;
+}
+
+/// The stateless-oracle functional check shared by both designs: rebuild
+/// every group and re-propagate through Fabric::evaluate with unlimited
+/// channels (capacity was enforced at setup, so this reports pure delivery
+/// correctness).
+bool verify_via_fabric(const min::Network& net, const sw::FabricState& state) {
+  std::vector<sw::GroupRealization> groups;
+  groups.reserve(state.group_count());
+  state.for_each_group(
+      [&](const sw::GroupRealization& g) { groups.push_back(g); });
+  const sw::Fabric fabric(net,
+                          sw::FabricConfig{net.size(), true, true});
+  const sw::EvalReport report = fabric.evaluate(groups);
+  if (!report.ok()) return false;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    for (std::size_t mi = 0; mi < groups[gi].members.size(); ++mi) {
+      if (report.delivered[gi][mi].values() != groups[gi].members)
+        return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
 DirectConferenceNetwork::DirectConferenceNetwork(min::Kind kind, u32 n,
                                                  DilationProfile dilation)
     : net_(min::make_network(kind, n)),
       dilation_(std::move(dilation)),
-      load_(n + 1, std::vector<u32>(u32{1} << n, 0)),
+      state_(net_, dilation_capacity(dilation_)),
       port_busy_(u32{1} << n, false) {
   expects(dilation_.n() == n, "dilation profile size mismatch");
 }
@@ -78,127 +120,67 @@ std::optional<u32> DirectConferenceNetwork::setup(
   }
   std::vector<u32> sorted = members;
   std::sort(sorted.begin(), sorted.end());
-  LevelLinks links = all_pairs_links(net_.kind(), n(), sorted);
-  for (u32 level = 0; level <= n(); ++level) {
-    const u32 cap = dilation_.channels(level);
-    for (u32 row : links[level]) {
-      if (load_[level][row] + 1 > cap) {
-        last_error_ = SetupError::kLinkCapacity;
-        return std::nullopt;
-      }
-    }
+  sw::GroupRealization g;
+  g.id = next_handle_;
+  g.links = all_pairs_links(net_.kind(), n(), sorted);
+  g.members = std::move(sorted);
+  if (!state_.try_add(std::move(g))) {
+    last_error_ = SetupError::kLinkCapacity;
+    return std::nullopt;
   }
-  for (u32 level = 0; level <= n(); ++level)
-    for (u32 row : links[level]) ++load_[level][row];
-  for (u32 m : sorted) port_busy_[m] = true;
   const u32 handle = next_handle_++;
-  active_.emplace(handle, Active{std::move(sorted), std::move(links)});
+  for (u32 m : state_.group(handle).members) port_busy_[m] = true;
   CONFNET_AUDIT_HOOK(audit::check_direct_network(*this));
   return handle;
 }
 
 void DirectConferenceNetwork::teardown(u32 handle) {
-  const auto it = active_.find(handle);
-  expects(it != active_.end(), "teardown of unknown conference handle");
-  for (u32 level = 0; level <= n(); ++level)
-    for (u32 row : it->second.links[level]) {
-      expects(load_[level][row] > 0, "link load underflow");
-      --load_[level][row];
-    }
-  for (u32 m : it->second.members) port_busy_[m] = false;
-  active_.erase(it);
+  expects(state_.contains(handle), "teardown of unknown conference handle");
+  for (u32 m : state_.group(handle).members) port_busy_[m] = false;
+  state_.remove(handle);
   CONFNET_AUDIT_HOOK(audit::check_direct_network(*this));
 }
 
 bool DirectConferenceNetwork::verify_delivery() const {
-  std::vector<sw::GroupRealization> groups;
-  groups.reserve(active_.size());
-  for (const auto& [handle, a] : active_) {
-    sw::GroupRealization g;
-    g.id = handle;
-    g.members = a.members;
-    g.links = a.links;
-    groups.push_back(std::move(g));
-  }
-  // Capacity was enforced at setup; give the functional check unlimited
-  // channels so it reports pure delivery correctness.
-  const sw::Fabric fabric(net_, sw::FabricConfig{size(), true, true});
-  const sw::EvalReport report = fabric.evaluate(groups);
-  if (!report.ok()) return false;
-  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-    for (std::size_t mi = 0; mi < groups[gi].members.size(); ++mi) {
-      if (report.delivered[gi][mi].values() != groups[gi].members)
-        return false;
-    }
-  }
-  return true;
+  return state_.delivery_ok();
 }
 
-namespace {
-/// Invoke fn(level, row) for every link present in `a` but not in `b`.
-template <typename Fn>
-void for_each_delta(const LevelLinks& a, const LevelLinks& b, Fn&& fn) {
-  for (u32 level = 0; level < a.size(); ++level)
-    for (u32 row : a[level])
-      if (!std::binary_search(b[level].begin(), b[level].end(), row))
-        fn(level, row);
+bool DirectConferenceNetwork::verify_delivery_reference() const {
+  return verify_via_fabric(net_, state_);
 }
-
-std::vector<u32> with_member(const std::vector<u32>& members, u32 port) {
-  std::vector<u32> grown = members;
-  grown.insert(std::lower_bound(grown.begin(), grown.end(), port), port);
-  return grown;
-}
-
-std::vector<u32> without_member(const std::vector<u32>& members, u32 port) {
-  std::vector<u32> shrunk = members;
-  shrunk.erase(std::lower_bound(shrunk.begin(), shrunk.end(), port));
-  return shrunk;
-}
-}  // namespace
 
 bool DirectConferenceNetwork::add_member(u32 handle, u32 port) {
-  const auto it = active_.find(handle);
-  expects(it != active_.end(), "add_member on unknown handle");
+  expects(state_.contains(handle), "add_member on unknown handle");
   expects(port < size(), "member out of range");
   if (port_busy_[port]) {
     last_error_ = SetupError::kPortBusy;
     return false;
   }
-  std::vector<u32> grown = with_member(it->second.members, port);
-  LevelLinks new_links = all_pairs_links(net_.kind(), n(), grown);
-  bool feasible = true;
-  for_each_delta(new_links, it->second.links, [&](u32 level, u32 row) {
-    if (load_[level][row] + 1 > dilation_.channels(level)) feasible = false;
-  });
-  if (!feasible) {
+  sw::GroupRealization grown;
+  grown.id = handle;
+  grown.members = with_member(state_.group(handle).members, port);
+  grown.links = all_pairs_links(net_.kind(), n(), grown.members);
+  if (!state_.try_replace(handle, std::move(grown))) {
     last_error_ = SetupError::kLinkCapacity;
     return false;
   }
-  for_each_delta(new_links, it->second.links,
-                 [&](u32 level, u32 row) { ++load_[level][row]; });
-  it->second.members = std::move(grown);
-  it->second.links = std::move(new_links);
   port_busy_[port] = true;
   CONFNET_AUDIT_HOOK(audit::check_direct_network(*this));
   return true;
 }
 
 bool DirectConferenceNetwork::remove_member(u32 handle, u32 port) {
-  const auto it = active_.find(handle);
-  expects(it != active_.end(), "remove_member on unknown handle");
-  if (!std::binary_search(it->second.members.begin(),
-                          it->second.members.end(), port))
-    return false;
-  if (it->second.members.size() <= 2) return false;  // close instead
-  std::vector<u32> shrunk = without_member(it->second.members, port);
-  LevelLinks new_links = all_pairs_links(net_.kind(), n(), shrunk);
-  for_each_delta(it->second.links, new_links, [&](u32 level, u32 row) {
-    expects(load_[level][row] > 0, "link load underflow");
-    --load_[level][row];
-  });
-  it->second.members = std::move(shrunk);
-  it->second.links = std::move(new_links);
+  expects(state_.contains(handle), "remove_member on unknown handle");
+  const std::vector<u32>& members = state_.group(handle).members;
+  if (!std::binary_search(members.begin(), members.end(), port)) return false;
+  if (members.size() <= 2) return false;  // close instead
+  sw::GroupRealization shrunk;
+  shrunk.id = handle;
+  shrunk.members = without_member(members, port);
+  shrunk.links = all_pairs_links(net_.kind(), n(), shrunk.members);
+  // An ALL_PAIRS subnetwork of fewer members only releases links, so the
+  // swap cannot oversubscribe anything.
+  state_.replace(handle, std::move(shrunk));
   port_busy_[port] = false;
   CONFNET_AUDIT_HOOK(audit::check_direct_network(*this));
   return true;
@@ -206,16 +188,13 @@ bool DirectConferenceNetwork::remove_member(u32 handle, u32 port) {
 
 const std::vector<u32>& DirectConferenceNetwork::members_for(
     u32 handle) const {
-  const auto it = active_.find(handle);
-  expects(it != active_.end(), "unknown conference handle");
-  return it->second.members;
+  expects(state_.contains(handle), "unknown conference handle");
+  return state_.group(handle).members;
 }
 
 u32 DirectConferenceNetwork::current_level_load(u32 level) const {
   expects(level <= n(), "level out of range");
-  u32 peak = 0;
-  for (u32 v : load_[level]) peak = std::max(peak, v);
-  return peak;
+  return state_.level_peak_load(level);
 }
 
 // ---------------------------------------------------------------------------
@@ -224,10 +203,22 @@ u32 DirectConferenceNetwork::current_level_load(u32 level) const {
 
 EnhancedCubeNetwork::EnhancedCubeNetwork(u32 n)
     : net_(min::make_network(min::Kind::kIndirectCube, n)),
-      load_(n + 1, std::vector<u32>(u32{1} << n, 0)),
+      state_(net_, sw::FabricConfig{1, true, true}),
       port_busy_(u32{1} << n, false) {}
 
 std::string EnhancedCubeNetwork::name() const { return "enhanced-cube"; }
+
+sw::GroupRealization EnhancedCubeNetwork::realize(u32 handle,
+                                                  std::vector<u32> members,
+                                                  EnhancedRealization real) {
+  sw::GroupRealization g;
+  g.id = handle;
+  g.links = std::move(real.links);
+  for (u32 m : members)
+    g.taps.push_back(sw::GroupRealization::Tap{m, real.tap_level});
+  g.members = std::move(members);
+  return g;
+}
 
 std::optional<u32> EnhancedCubeNetwork::setup(
     const std::vector<u32>& members) {
@@ -244,133 +235,80 @@ std::optional<u32> EnhancedCubeNetwork::setup(
   EnhancedRealization real = enhanced_cube_realization(n(), sorted);
   // The enhanced design keeps single-channel links; a conflict means the
   // placement was not aligned (or the fabric is genuinely oversubscribed).
-  for (u32 level = 0; level <= n(); ++level) {
-    for (u32 row : real.links[level]) {
-      if (load_[level][row] + 1 > 1) {
-        last_error_ = SetupError::kLinkCapacity;
-        return std::nullopt;
-      }
-    }
+  if (!state_.try_add(realize(next_handle_, std::move(sorted),
+                              std::move(real)))) {
+    last_error_ = SetupError::kLinkCapacity;
+    return std::nullopt;
   }
-  for (u32 level = 0; level <= n(); ++level)
-    for (u32 row : real.links[level]) ++load_[level][row];
-  for (u32 m : sorted) port_busy_[m] = true;
   const u32 handle = next_handle_++;
-  active_.emplace(handle, Active{std::move(sorted), std::move(real)});
+  for (u32 m : state_.group(handle).members) port_busy_[m] = true;
   CONFNET_AUDIT_HOOK(audit::check_enhanced_network(*this));
   return handle;
 }
 
 void EnhancedCubeNetwork::teardown(u32 handle) {
-  const auto it = active_.find(handle);
-  expects(it != active_.end(), "teardown of unknown conference handle");
-  for (u32 level = 0; level <= n(); ++level)
-    for (u32 row : it->second.realization.links[level]) {
-      expects(load_[level][row] > 0, "link load underflow");
-      --load_[level][row];
-    }
-  for (u32 m : it->second.members) port_busy_[m] = false;
-  active_.erase(it);
+  expects(state_.contains(handle), "teardown of unknown conference handle");
+  for (u32 m : state_.group(handle).members) port_busy_[m] = false;
+  state_.remove(handle);
   CONFNET_AUDIT_HOOK(audit::check_enhanced_network(*this));
 }
 
 bool EnhancedCubeNetwork::verify_delivery() const {
-  std::vector<sw::GroupRealization> groups;
-  groups.reserve(active_.size());
-  for (const auto& [handle, a] : active_) {
-    sw::GroupRealization g;
-    g.id = handle;
-    g.members = a.members;
-    g.links = a.realization.links;
-    for (u32 m : a.members)
-      g.taps.push_back(
-          sw::GroupRealization::Tap{m, a.realization.tap_level});
-    groups.push_back(std::move(g));
-  }
-  const sw::Fabric fabric(net_, sw::FabricConfig{1, true, true});
-  const sw::EvalReport report = fabric.evaluate(groups);
-  if (!report.ok()) return false;
-  for (std::size_t gi = 0; gi < groups.size(); ++gi)
-    for (std::size_t mi = 0; mi < groups[gi].members.size(); ++mi)
-      if (report.delivered[gi][mi].values() != groups[gi].members)
-        return false;
-  return true;
+  return state_.delivery_ok();
+}
+
+bool EnhancedCubeNetwork::verify_delivery_reference() const {
+  return verify_via_fabric(net_, state_);
 }
 
 bool EnhancedCubeNetwork::add_member(u32 handle, u32 port) {
-  const auto it = active_.find(handle);
-  expects(it != active_.end(), "add_member on unknown handle");
+  expects(state_.contains(handle), "add_member on unknown handle");
   expects(port < size(), "member out of range");
   if (port_busy_[port]) {
     last_error_ = SetupError::kPortBusy;
     return false;
   }
-  std::vector<u32> grown = with_member(it->second.members, port);
+  std::vector<u32> grown = with_member(state_.group(handle).members, port);
   EnhancedRealization real = enhanced_cube_realization(n(), grown);
-  bool feasible = true;
-  for_each_delta(real.links, it->second.realization.links,
-                 [&](u32 level, u32 row) {
-                   if (load_[level][row] + 1 > 1) feasible = false;
-                 });
-  if (!feasible) {
+  // A grown conference may also RELEASE links: joining a member outside the
+  // old span raises the tap level, but within a span it only adds links.
+  // try_replace checks capacity on the gained links only.
+  if (!state_.try_replace(handle,
+                          realize(handle, std::move(grown), std::move(real)))) {
     last_error_ = SetupError::kLinkCapacity;
     return false;
   }
-  for_each_delta(real.links, it->second.realization.links,
-                 [&](u32 level, u32 row) { ++load_[level][row]; });
-  // A grown conference may also RELEASE links: joining a member outside the
-  // old span raises the tap level, but within a span it only adds links.
-  for_each_delta(it->second.realization.links, real.links,
-                 [&](u32 level, u32 row) {
-                   expects(load_[level][row] > 0, "link load underflow");
-                   --load_[level][row];
-                 });
-  it->second.members = std::move(grown);
-  it->second.realization = std::move(real);
   port_busy_[port] = true;
   CONFNET_AUDIT_HOOK(audit::check_enhanced_network(*this));
   return true;
 }
 
 bool EnhancedCubeNetwork::remove_member(u32 handle, u32 port) {
-  const auto it = active_.find(handle);
-  expects(it != active_.end(), "remove_member on unknown handle");
-  if (!std::binary_search(it->second.members.begin(),
-                          it->second.members.end(), port))
-    return false;
-  if (it->second.members.size() <= 2) return false;  // close instead
-  std::vector<u32> shrunk = without_member(it->second.members, port);
+  expects(state_.contains(handle), "remove_member on unknown handle");
+  const std::vector<u32>& members = state_.group(handle).members;
+  if (!std::binary_search(members.begin(), members.end(), port)) return false;
+  if (members.size() <= 2) return false;  // close instead
+  std::vector<u32> shrunk = without_member(members, port);
   EnhancedRealization real = enhanced_cube_realization(n(), shrunk);
-  // Shrinking never adds links under a fixed tap level, but a dropped
-  // member can LOWER the tap level and change the shape; handle both
-  // directions symmetrically (the new links are a subset of the old ones
-  // whenever tap level is unchanged, so no capacity check is needed:
-  // new-only links can only appear when the tap level drops, freeing more
-  // than it takes within the conference's own rows).
-  for_each_delta(real.links, it->second.realization.links,
-                 [&](u32 level, u32 row) { ++load_[level][row]; });
-  for_each_delta(it->second.realization.links, real.links,
-                 [&](u32 level, u32 row) {
-                   expects(load_[level][row] > 0, "link load underflow");
-                   --load_[level][row];
-                 });
-  it->second.members = std::move(shrunk);
-  it->second.realization = std::move(real);
+  // Shrinking never adds links under a fixed tap level; new-only links can
+  // only appear when the tap level drops, freeing more than it takes within
+  // the conference's own rows — so the unconditional swap is safe.
+  state_.replace(handle, realize(handle, std::move(shrunk), std::move(real)));
   port_busy_[port] = false;
   CONFNET_AUDIT_HOOK(audit::check_enhanced_network(*this));
   return true;
 }
 
 const std::vector<u32>& EnhancedCubeNetwork::members_for(u32 handle) const {
-  const auto it = active_.find(handle);
-  expects(it != active_.end(), "unknown conference handle");
-  return it->second.members;
+  expects(state_.contains(handle), "unknown conference handle");
+  return state_.group(handle).members;
 }
 
 u32 EnhancedCubeNetwork::tap_level(u32 handle) const {
-  const auto it = active_.find(handle);
-  expects(it != active_.end(), "unknown conference handle");
-  return it->second.realization.tap_level;
+  expects(state_.contains(handle), "unknown conference handle");
+  const sw::GroupRealization& g = state_.group(handle);
+  ensures(!g.taps.empty(), "enhanced group must carry taps");
+  return g.taps.front().tap_level;
 }
 
 }  // namespace confnet::conf
@@ -380,43 +318,35 @@ namespace confnet::audit {
 namespace {
 
 /// Shared portion of the two design audits: member sets disjoint, busy-port
-/// bitmap == union of members, per-link load == recomputed sum over the
-/// active link sets, load within `cap(level)`.
-template <typename ActiveMap, typename LinksOf, typename CapOf>
-void check_design_state(const ActiveMap& active,
-                        const std::vector<std::vector<conf::u32>>& load,
+/// bitmap == union of members, handles in range, and — via
+/// check_fabric_state — load/ownership accounting consistent with the
+/// stateless Fabric oracle.
+void check_design_state(const sw::FabricState& state,
                         const std::vector<bool>& port_busy, conf::u32 n,
-                        conf::u32 next_handle, const LinksOf& links_of,
-                        const CapOf& cap, std::string_view sub) {
+                        conf::u32 next_handle, std::string_view sub) {
   using conf::u32;
   const u32 N = u32{1} << n;
   std::vector<std::vector<u32>> member_sets;
   std::vector<bool> busy(N, false);
-  std::vector<std::vector<u32>> expected_load(n + 1,
-                                              std::vector<u32>(N, 0));
-  for (const auto& [handle, a] : active) {
-    require(handle < next_handle, sub, "conference handle from the future");
-    require(a.members.size() >= 2, sub, "active conference below two members");
-    member_sets.push_back(a.members);
-    for (u32 m : a.members) busy[m] = true;
-    const conf::LevelLinks& links = links_of(a);
-    require(links.size() == static_cast<std::size_t>(n) + 1, sub,
+  state.for_each_group([&](const sw::GroupRealization& g) {
+    require(g.id < next_handle, sub, "conference handle from the future");
+    require(g.members.size() >= 2, sub, "active conference below two members");
+    member_sets.push_back(g.members);
+    for (u32 m : g.members) {
+      require(m < N, sub, "active member row out of range");
+      busy[m] = true;
+    }
+    require(g.links.size() == static_cast<std::size_t>(n) + 1, sub,
             "active link set has wrong level count");
-    for (u32 level = 0; level <= n; ++level)
-      for (u32 row : links[level]) {
-        require(row < N, sub, "active link row out of range");
-        ++expected_load[level][row];
-      }
-  }
+  });
   check_disjoint_memberships(member_sets, N, sub);
   require(busy == port_busy, sub,
           "busy-port bitmap is not the union of active members");
-  require(load == expected_load, sub,
-          "link load accounting diverges from active link sets");
-  for (u32 level = 0; level <= n; ++level)
-    for (u32 row = 0; row < N; ++row)
-      require(load[level][row] <= cap(level), sub,
-              "link load exceeds the channel capacity");
+  // Both designs admit only within capacity, so the incremental overflow
+  // counter must read zero on live state.
+  require(state.overflowing_links() == 0, sub,
+          "admitted conferences exceed link channel capacity");
+  check_fabric_state(state);
 }
 
 }  // namespace
@@ -424,38 +354,39 @@ void check_design_state(const ActiveMap& active,
 void check_direct_network(const conf::DirectConferenceNetwork& net) {
   constexpr std::string_view kSub = "designs";
   using conf::u32;
-  check_design_state(
-      net.active_, net.load_, net.port_busy_, net.n(), net.next_handle_,
-      [](const auto& a) -> const conf::LevelLinks& { return a.links; },
-      [&](u32 level) { return net.dilation_.channels(level); }, kSub);
+  check_design_state(net.state_, net.port_busy_, net.n(), net.next_handle_,
+                     kSub);
+  for (u32 level = 0; level <= net.n(); ++level)
+    require(net.state_.capacity()[level] == net.dilation_.channels(level),
+            kSub, "fabric capacity diverges from the dilation profile");
   // Deep shape check: the stored links are exactly the ALL_PAIRS
-  // subnetwork of the stored members.
-  for (const auto& [handle, a] : net.active_)
-    require(a.links == conf::all_pairs_links(net.kind(), net.n(), a.members),
+  // subnetwork of the stored members, with no relay taps.
+  net.state_.for_each_group([&](const sw::GroupRealization& g) {
+    require(g.taps.empty(), kSub, "direct design must not carry relay taps");
+    require(g.links == conf::all_pairs_links(net.kind(), net.n(), g.members),
             kSub, "stored links diverge from the ALL_PAIRS recomputation");
+  });
 }
 
 void check_enhanced_network(const conf::EnhancedCubeNetwork& net) {
   constexpr std::string_view kSub = "designs";
   using conf::u32;
-  check_design_state(
-      net.active_, net.load_, net.port_busy_, net.n(), net.next_handle_,
-      [](const auto& a) -> const conf::LevelLinks& {
-        return a.realization.links;
-      },
-      [](u32) { return u32{1}; }, kSub);
+  check_design_state(net.state_, net.port_busy_, net.n(), net.next_handle_,
+                     kSub);
   std::vector<std::vector<std::vector<u32>>> group_links;
-  for (const auto& [handle, a] : net.active_) {
-    const auto& real = a.realization;
-    // The stored realization is exactly the recomputed one (tap included).
+  net.state_.for_each_group([&](const sw::GroupRealization& g) {
+    // The stored realization is exactly the recomputed one (taps included).
     const conf::EnhancedRealization fresh =
-        conf::enhanced_cube_realization(net.n(), a.members);
-    require(real.tap_level == fresh.tap_level, kSub,
-            "stored tap level diverges from the recomputed completion level");
-    require(real.links == fresh.links, kSub,
+        conf::enhanced_cube_realization(net.n(), g.members);
+    require(g.taps.size() == g.members.size(), kSub,
+            "enhanced group must tap every member");
+    for (const auto& tap : g.taps)
+      require(tap.tap_level == fresh.tap_level, kSub,
+              "stored tap level diverges from the recomputed completion level");
+    require(g.links == fresh.links, kSub,
             "stored links diverge from the enhanced-cube recomputation");
-    group_links.push_back(real.links);
-  }
+    group_links.push_back(g.links);
+  });
   // The paper's claim, machine-checked on live state: enhanced-design
   // conferences never share an interstage link.
   check_link_disjoint(group_links, net.n() + 1, net.size(), kSub);

@@ -24,6 +24,7 @@
 #include "conference/subnetwork.hpp"
 #include "min/network.hpp"
 #include "switchmod/fabric.hpp"
+#include "switchmod/fabric_state.hpp"
 #include "util/audit.hpp"
 
 namespace confnet::conf {
@@ -77,8 +78,17 @@ class ConferenceNetworkBase {
   [[nodiscard]] virtual u32 active_count() const noexcept = 0;
 
   /// Evaluate the fabric functionally: every active conference's members
-  /// must receive exactly the conference's member set.
+  /// must receive exactly the conference's member set. Served from the
+  /// incremental sw::FabricState — cheap when nothing changed since the
+  /// last check.
   [[nodiscard]] virtual bool verify_delivery() const = 0;
+
+  /// Same verdict via the stateless `sw::Fabric::evaluate` oracle (full
+  /// rebuild + re-propagation). The slow reference path kept for
+  /// equivalence tests and benchmark comparisons.
+  [[nodiscard]] virtual bool verify_delivery_reference() const {
+    return verify_delivery();
+  }
 
   /// Stages a signal of this conference traverses before delivery (latency
   /// proxy). Direct designs always cross all n stages; the enhanced design
@@ -116,9 +126,10 @@ class DirectConferenceNetwork final : public ConferenceNetworkBase {
   }
   void teardown(u32 handle) override;
   [[nodiscard]] u32 active_count() const noexcept override {
-    return static_cast<u32>(active_.size());
+    return state_.group_count();
   }
   [[nodiscard]] bool verify_delivery() const override;
+  [[nodiscard]] bool verify_delivery_reference() const override;
   [[nodiscard]] bool add_member(u32 handle, u32 port) override;
   [[nodiscard]] bool remove_member(u32 handle, u32 port) override;
   [[nodiscard]] const std::vector<u32>& members_for(u32 handle) const override;
@@ -133,14 +144,9 @@ class DirectConferenceNetwork final : public ConferenceNetworkBase {
  private:
   friend void audit::check_direct_network(const ::confnet::conf::DirectConferenceNetwork&);
 
-  struct Active {
-    std::vector<u32> members;
-    LevelLinks links;
-  };
   min::Network net_;
   DilationProfile dilation_;
-  std::vector<std::vector<u32>> load_;  // [level][row]
-  std::map<u32, Active> active_;
+  sw::FabricState state_;  // owns the active realizations + link loads
   std::vector<bool> port_busy_;
   u32 next_handle_ = 0;
   SetupError last_error_ = SetupError::kPortBusy;
@@ -159,9 +165,10 @@ class EnhancedCubeNetwork final : public ConferenceNetworkBase {
   }
   void teardown(u32 handle) override;
   [[nodiscard]] u32 active_count() const noexcept override {
-    return static_cast<u32>(active_.size());
+    return state_.group_count();
   }
   [[nodiscard]] bool verify_delivery() const override;
+  [[nodiscard]] bool verify_delivery_reference() const override;
   [[nodiscard]] bool add_member(u32 handle, u32 port) override;
   [[nodiscard]] bool remove_member(u32 handle, u32 port) override;
   [[nodiscard]] const std::vector<u32>& members_for(u32 handle) const override;
@@ -177,13 +184,11 @@ class EnhancedCubeNetwork final : public ConferenceNetworkBase {
  private:
   friend void audit::check_enhanced_network(const ::confnet::conf::EnhancedCubeNetwork&);
 
-  struct Active {
-    std::vector<u32> members;
-    EnhancedRealization realization;
-  };
+  [[nodiscard]] static sw::GroupRealization realize(
+      u32 handle, std::vector<u32> members, EnhancedRealization real);
+
   min::Network net_;
-  std::vector<std::vector<u32>> load_;  // [level][row]
-  std::map<u32, Active> active_;
+  sw::FabricState state_;  // owns the active realizations + link loads
   std::vector<bool> port_busy_;
   u32 next_handle_ = 0;
   SetupError last_error_ = SetupError::kPortBusy;

@@ -2,18 +2,93 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 
 #include "conference/subnetwork.hpp"
+#include "min/selfroute.hpp"
 #include "min/windows.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace confnet::conf {
 
 using min::Kind;
 
+void MultiplicityScratch::prepare(u32 ports) {
+  if (counts.size() != ports) {
+    counts.assign(ports, 0);
+    stamp.assign(ports, 0);
+    generation = 0;
+  }
+  // Stamps older than any live generation read as "unseen"; reset before a
+  // wraparound could resurrect one (never reached in practice).
+  if (generation > std::numeric_limits<u32>::max() - 4) {
+    std::fill(stamp.begin(), stamp.end(), 0u);
+    generation = 0;
+  }
+}
+
 MultiplicityProfile measure_multiplicity(Kind kind, u32 n,
                                          const ConferenceSet& set) {
+  static thread_local MultiplicityScratch scratch;
+  return measure_multiplicity(kind, n, set, scratch);
+}
+
+MultiplicityProfile measure_multiplicity(Kind kind, u32 n,
+                                         const ConferenceSet& set,
+                                         MultiplicityScratch& scratch) {
+  expects(set.num_ports() == (u32{1} << n), "conference set size mismatch");
+  const u32 N = u32{1} << n;
+  scratch.prepare(N);
+  MultiplicityProfile profile;
+  profile.per_level.assign(n + 1, 0);
+  for (u32 level = 0; level <= n; ++level) {
+    const min::RowParts parts = min::row_parts(kind, n, level);
+    u32 level_max = 0;
+    scratch.touched.clear();
+    for (const Conference& c : set.conferences()) {
+      // Deduplicate each field with generation stamps; distinct (src,dst)
+      // part pairs produce distinct rows (the fields are disjoint), so the
+      // cross product below counts every used row exactly once per
+      // conference — the same multiset of counts as the sorted reference.
+      scratch.src_parts.clear();
+      scratch.dst_parts.clear();
+      u32 gen = ++scratch.generation;
+      for (u32 m : c.members()) {
+        const u32 a = parts.src.apply(m);
+        if (scratch.stamp[a] != gen) {
+          scratch.stamp[a] = gen;
+          scratch.src_parts.push_back(a);
+        }
+      }
+      gen = ++scratch.generation;
+      for (u32 m : c.members()) {
+        const u32 b = parts.dst.apply(m);
+        if (scratch.stamp[b] != gen) {
+          scratch.stamp[b] = gen;
+          scratch.dst_parts.push_back(b);
+        }
+      }
+      for (u32 a : scratch.src_parts) {
+        for (u32 b : scratch.dst_parts) {
+          const u32 row = a | b;
+          u32& count = scratch.counts[row];
+          if (count == 0) scratch.touched.push_back(row);
+          level_max = std::max(level_max, ++count);
+        }
+      }
+    }
+    profile.per_level[level] = set.empty() ? 0 : level_max;
+    if (level >= 1 && level < n)
+      profile.peak = std::max(profile.peak, profile.per_level[level]);
+    for (u32 row : scratch.touched) scratch.counts[row] = 0;
+  }
+  return profile;
+}
+
+MultiplicityProfile measure_multiplicity_reference(Kind kind, u32 n,
+                                                   const ConferenceSet& set) {
   expects(set.num_ports() == (u32{1} << n), "conference set size mismatch");
   const u32 N = u32{1} << n;
   MultiplicityProfile profile;
@@ -256,7 +331,70 @@ MonteCarloResult monte_carlo_multiplicity(Kind kind, u32 n,
                                           u32 conference_count, u32 min_size,
                                           u32 max_size,
                                           PlacementPolicy policy, u32 trials,
-                                          u64 seed) {
+                                          u64 seed, util::ThreadPool* pool) {
+  expects(min_size >= 2 && min_size <= max_size,
+          "conference sizes must satisfy 2 <= min <= max");
+  const u32 N = u32{1} << n;
+  expects(max_size <= N, "conference size beyond network");
+
+  // Fork every trial stream from the root RNG in serial order up front, so
+  // the schedule cannot change the random sequence any trial consumes.
+  std::vector<util::Rng> trial_rngs;
+  trial_rngs.reserve(trials);
+  util::Rng rng(seed);
+  for (u32 t = 0; t < trials; ++t) trial_rngs.push_back(rng.fork());
+
+  struct TrialOutcome {
+    u32 peak = 0;
+    u32 placement_failures = 0;
+    bool counted = false;
+  };
+  std::vector<TrialOutcome> outcomes(trials);
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    MultiplicityScratch scratch;
+    for (std::size_t t = begin; t < end; ++t) {
+      util::Rng trial_rng = trial_rngs[t];
+      PortPlacer placer(n, policy);
+      ConferenceSet set(N);
+      u32 id = 0;
+      TrialOutcome& out = outcomes[t];
+      for (u32 c = 0; c < conference_count; ++c) {
+        const u32 size = static_cast<u32>(
+            trial_rng.between(min_size, max_size));
+        auto ports = placer.place(size, trial_rng);
+        if (!ports) {
+          ++out.placement_failures;
+          continue;
+        }
+        set.add(Conference(id++, std::move(*ports)));
+      }
+      if (set.empty()) continue;
+      out.peak = measure_multiplicity(kind, n, set, scratch).peak;
+      out.counted = true;
+    }
+  };
+  (pool != nullptr ? *pool : util::global_pool())
+      .parallel_for_chunks(trials, run_range);
+
+  // Merge in trial order: the Welford accumulator sees exactly the adds of
+  // the serial run, so the result is byte-identical for any worker count.
+  MonteCarloResult result;
+  for (u32 t = 0; t < trials; ++t) {
+    const TrialOutcome& out = outcomes[t];
+    result.placement_failures += out.placement_failures;
+    if (!out.counted) continue;
+    result.peak.add(out.peak);
+    result.max_peak = std::max(result.max_peak, out.peak);
+    if (result.peak_histogram.size() <= out.peak)
+      result.peak_histogram.resize(out.peak + 1, 0);
+    ++result.peak_histogram[out.peak];
+  }
+  return result;
+}
+
+MonteCarloResult monte_carlo_multiplicity_reference(
+    Kind kind, u32 n, u32 conference_count, u32 min_size, u32 max_size,
+    PlacementPolicy policy, u32 trials, u64 seed) {
   expects(min_size >= 2 && min_size <= max_size,
           "conference sizes must satisfy 2 <= min <= max");
   const u32 N = u32{1} << n;
@@ -279,7 +417,7 @@ MonteCarloResult monte_carlo_multiplicity(Kind kind, u32 n,
       set.add(Conference(id++, std::move(*ports)));
     }
     if (set.empty()) continue;
-    const MultiplicityProfile p = measure_multiplicity(kind, n, set);
+    const MultiplicityProfile p = measure_multiplicity_reference(kind, n, set);
     result.peak.add(p.peak);
     result.max_peak = std::max(result.max_peak, p.peak);
     if (result.peak_histogram.size() <= p.peak)

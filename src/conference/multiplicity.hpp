@@ -29,6 +29,10 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
+namespace confnet::util {
+class ThreadPool;
+}
+
 namespace confnet::conf {
 
 /// Per-level maximum link sharing for one concrete conference set.
@@ -37,8 +41,39 @@ struct MultiplicityProfile {
   u32 peak = 0;                // max over interstage levels 1..n-1
 };
 
+/// Reusable workspace for the allocation-free measurement kernel. One
+/// instance per thread; `measure_multiplicity` sizes it on demand and
+/// leaves it ready for the next call (counts all zero, stamps current).
+struct MultiplicityScratch {
+  std::vector<u32> counts;     // [N] link-use counters, zeroed via `touched`
+  std::vector<u32> touched;    // rows with nonzero count at this level
+  std::vector<u32> src_parts;  // deduplicated source fields of one set
+  std::vector<u32> dst_parts;  // deduplicated destination fields
+  std::vector<u32> stamp;      // [N] generation marks for O(1) dedup
+  u32 generation = 0;
+
+  /// Resize for a 2^n-port network; resets stamps on size change or
+  /// (theoretical) generation wraparound.
+  void prepare(u32 ports);
+};
+
 /// Measure the sharing profile of `set` under ALL_PAIRS realization.
+/// Allocation-free after warmup: uses a thread-local MultiplicityScratch
+/// and counts rows directly from the per-level bit-field decomposition
+/// (min::row_parts) instead of materializing row vectors.
 [[nodiscard]] MultiplicityProfile measure_multiplicity(
+    min::Kind kind, u32 n, const ConferenceSet& set);
+
+/// Same, with an explicit caller-owned workspace (hot loops, worker
+/// threads).
+[[nodiscard]] MultiplicityProfile measure_multiplicity(
+    min::Kind kind, u32 n, const ConferenceSet& set,
+    MultiplicityScratch& scratch);
+
+/// Reference oracle: the original per-conference `all_pairs_rows_at`
+/// implementation. Kept verbatim so property tests can assert the fast
+/// kernel is bit-identical.
+[[nodiscard]] MultiplicityProfile measure_multiplicity_reference(
     min::Kind kind, u32 n, const ConferenceSet& set);
 
 /// Closed form for arbitrary placement: min(2^level, 2^(n-level)).
@@ -93,7 +128,18 @@ struct MonteCarloResult {
   u32 max_peak = 0;
   u32 placement_failures = 0;  // trials where placement could not fit
 };
+/// Trials fan out over `pool` (util::global_pool() when null). Every trial
+/// stream is forked from the root RNG in serial order before any work is
+/// scheduled and results merge in trial order, so the outcome is
+/// byte-identical to the serial reference for any worker count.
 [[nodiscard]] MonteCarloResult monte_carlo_multiplicity(
+    min::Kind kind, u32 n, u32 conference_count, u32 min_size, u32 max_size,
+    PlacementPolicy policy, u32 trials, u64 seed,
+    util::ThreadPool* pool = nullptr);
+
+/// Reference oracle: the original single-threaded loop on top of
+/// measure_multiplicity_reference.
+[[nodiscard]] MonteCarloResult monte_carlo_multiplicity_reference(
     min::Kind kind, u32 n, u32 conference_count, u32 min_size, u32 max_size,
     PlacementPolicy policy, u32 trials, u64 seed);
 

@@ -155,6 +155,12 @@ bool ReplicatedConferenceNetwork::verify_delivery() const {
   return true;
 }
 
+bool ReplicatedConferenceNetwork::verify_delivery_reference() const {
+  for (const auto& plane : planes_)
+    if (!plane->verify_delivery_reference()) return false;
+  return true;
+}
+
 bool ReplicatedConferenceNetwork::add_member(u32 handle, u32 port) {
   const auto it = active_.find(handle);
   expects(it != active_.end(), "add_member on unknown handle");

@@ -62,6 +62,7 @@ class ReplicatedConferenceNetwork final : public ConferenceNetworkBase {
   void teardown(u32 handle) override;
   [[nodiscard]] u32 active_count() const noexcept override;
   [[nodiscard]] bool verify_delivery() const override;
+  [[nodiscard]] bool verify_delivery_reference() const override;
   [[nodiscard]] bool add_member(u32 handle, u32 port) override;
   [[nodiscard]] bool remove_member(u32 handle, u32 port) override;
   [[nodiscard]] const std::vector<u32>& members_for(u32 handle) const override;

@@ -46,4 +46,29 @@ std::vector<u32> path_rows(Kind kind, u32 n, u32 src, u32 dst) {
   return rows;
 }
 
+RowParts row_parts(Kind kind, u32 n, u32 level) {
+  expects(n >= 1 && n <= 20, "row_parts: 1 <= n <= 20");
+  expects(level <= n, "row_parts: level <= n");
+  const u32 l = level;
+  // Masks for the two fields: the source contributes n-l bits, the
+  // destination l bits (each mask is 0 at the degenerate end levels).
+  const u32 src_mask = (u32{1} << (n - l)) - 1;
+  const u32 dst_mask = (u32{1} << l) - 1;
+  switch (kind) {
+    case Kind::kOmega:
+      return RowParts{{0, src_mask, l}, {n - l, dst_mask, 0}};
+    case Kind::kBaseline:
+      return RowParts{{l, src_mask, 0}, {n - l, dst_mask, n - l}};
+    case Kind::kIndirectCube:
+      return RowParts{{l, src_mask, l}, {0, dst_mask, 0}};
+    case Kind::kButterfly:
+      return RowParts{{0, src_mask, 0}, {n - l, dst_mask, n - l}};
+    case Kind::kFlip:
+      return RowParts{{l, src_mask, l}, {n - l, dst_mask, 0}};
+    case Kind::kReverseOmega:
+      return RowParts{{l, src_mask, 0}, {0, dst_mask, n - l}};
+  }
+  throw Error("row_parts: bad kind");
+}
+
 }  // namespace confnet::min

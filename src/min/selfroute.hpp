@@ -20,4 +20,28 @@ namespace confnet::min {
 /// allocation is the only non-O(1) cost per level).
 [[nodiscard]] std::vector<u32> path_rows(Kind kind, u32 n, u32 src, u32 dst);
 
+/// One bit field of a level row: extracted from an address as
+/// ((addr >> shift_in) & mask) << shift_out.
+struct PartField {
+  u32 shift_in = 0;
+  u32 mask = 0;
+  u32 shift_out = 0;
+
+  [[nodiscard]] constexpr u32 apply(u32 addr) const noexcept {
+    return ((addr >> shift_in) & mask) << shift_out;
+  }
+};
+
+/// The source/destination bit-field decomposition of a level's rows:
+///   path_row(kind, n, s, d, level) == src.apply(s) | dst.apply(d)
+/// with the two fields occupying disjoint bit positions. This is the
+/// hoisted-out-of-the-loop form of path_row used by the allocation-free
+/// multiplicity kernel; `min_selfroute_test` asserts the identity for every
+/// (kind, n, level, src, dst).
+struct RowParts {
+  PartField src;
+  PartField dst;
+};
+[[nodiscard]] RowParts row_parts(Kind kind, u32 n, u32 level);
+
 }  // namespace confnet::min

@@ -174,7 +174,10 @@ TeletrafficResult run_teletraffic(conf::ConferenceNetworkBase& network,
   // --- Periodic functional verification --------------------------------
   std::function<void()> verify = [&] {
     ++result.functional_checks;
-    if (!network.verify_delivery()) result.functional_ok = false;
+    const bool ok = config.verify_reference
+                        ? network.verify_delivery_reference()
+                        : network.verify_delivery();
+    if (!ok) result.functional_ok = false;
     des.schedule_in(config.verify_interval, verify);
   };
   if (config.verify_functional) des.schedule_in(config.verify_interval, verify);

@@ -21,6 +21,9 @@ struct TeletrafficConfig {
   /// Periodically run ConferenceNetworkBase::verify_delivery.
   bool verify_functional = false;
   double verify_interval = 100.0;
+  /// Verify through the stateless Fabric::evaluate oracle instead of the
+  /// incremental FabricState (slow reference path, for benchmarks/tests).
+  bool verify_reference = false;
   /// Simulate per-member talk spurts (speaker concurrency stats).
   bool talk_spurts = false;
   double mean_talk = 1.0;

@@ -1,6 +1,8 @@
 #include "switchmod/fabric.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <string>
 
 #include "util/audit.hpp"
@@ -37,6 +39,22 @@ struct FabricMetrics {
       obs::Registry::global().counter("fabric", "capability_violations");
   obs::Histogram& peak_link_load = obs::Registry::global().histogram(
       "fabric", "peak_link_load", obs::linear_buckets(1.0, 1.0, 32));
+  /// Lazily resolved per-level link_load handles, so the evaluate hot path
+  /// never pays the "level=..." string build + registry mutex again.
+  /// Registry handles are stable, so the benign double-resolve race stores
+  /// the same pointer.
+  std::array<std::atomic<obs::Histogram*>, 21> link_load{};
+
+  obs::Histogram& link_load_at(u32 level) {
+    obs::Histogram* h = link_load[level].load(std::memory_order_acquire);
+    if (h == nullptr) {
+      h = &obs::Registry::global().histogram(
+          "fabric", "link_load", obs::linear_buckets(1.0, 1.0, 32),
+          "level=" + std::to_string(level));
+      link_load[level].store(h, std::memory_order_release);
+    }
+    return *h;
+  }
 
   static FabricMetrics& get() {
     static FabricMetrics m;
@@ -55,10 +73,7 @@ void publish_fabric_observations(const EvalReport& report, u32 n) {
   u32 peak = 0;
   for (u32 level = 1; level < n; ++level) {
     peak = std::max(peak, report.max_link_load[level]);
-    obs::Registry::global()
-        .histogram("fabric", "link_load", obs::linear_buckets(1.0, 1.0, 32),
-                   "level=" + std::to_string(level))
-        .observe(report.max_link_load[level]);
+    m.link_load_at(level).observe(report.max_link_load[level]);
   }
   m.peak_link_load.observe(peak);
   obs::trace_emit("fabric", "evaluate", peak);

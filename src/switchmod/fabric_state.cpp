@@ -1,0 +1,371 @@
+#include "switchmod/fabric_state.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/audit.hpp"
+#include "util/error.hpp"
+
+namespace confnet::sw {
+
+namespace {
+/// Index of `row` in a sorted vector, or npos.
+std::size_t index_of(const std::vector<u32>& sorted_rows, u32 row) {
+  const auto it =
+      std::lower_bound(sorted_rows.begin(), sorted_rows.end(), row);
+  if (it == sorted_rows.end() || *it != row)
+    return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - sorted_rows.begin());
+}
+
+/// Invoke fn(level, row) for every link present in `a` but not in `b`.
+template <typename Fn>
+void for_each_delta(const std::vector<std::vector<u32>>& a,
+                    const std::vector<std::vector<u32>>& b, Fn&& fn) {
+  for (u32 level = 0; level < a.size(); ++level)
+    for (u32 row : a[level])
+      if (!std::binary_search(b[level].begin(), b[level].end(), row))
+        fn(level, row);
+}
+}  // namespace
+
+FabricState::FabricState(const min::Network& net, FabricConfig config)
+    : FabricState(net,
+                  std::vector<u32>(net.n() + 1, config.channels_per_link),
+                  config.fan_in, config.fan_out) {}
+
+FabricState::FabricState(const min::Network& net, std::vector<u32> capacity,
+                         bool fan_in, bool fan_out)
+    : net_(net),
+      capacity_(std::move(capacity)),
+      fan_in_(fan_in),
+      fan_out_(fan_out),
+      load_(net.n() + 1, std::vector<u32>(net.size(), 0)),
+      owner_(net.size(), -1) {
+  expects(capacity_.size() == static_cast<std::size_t>(net_.n()) + 1,
+          "FabricState capacity needs n+1 levels");
+  for (u32 c : capacity_)
+    expects(c >= 1, "FabricState needs at least one channel per link");
+}
+
+void FabricState::validate_new_group(const GroupRealization& group) const {
+  const u32 N = net_.size();
+  const u32 n = net_.n();
+  expects(!group.members.empty(), "group has no members");
+  expects(group.links.size() == static_cast<std::size_t>(n) + 1,
+          "GroupRealization must carry n+1 link levels");
+  expects(std::is_sorted(group.members.begin(), group.members.end()),
+          "GroupRealization members must be sorted");
+  expects(group.members.back() < N, "member row out of range");
+  for (u32 level = 0; level <= n; ++level) {
+    const auto& rows = group.links[level];
+    expects(std::is_sorted(rows.begin(), rows.end()),
+            "GroupRealization link rows must be sorted");
+    for (u32 r : rows) expects(r < N, "link row out of range");
+  }
+}
+
+void FabricState::apply_load(const GroupRealization& group, bool add) {
+  for (u32 level = 0; level < group.links.size(); ++level) {
+    const u32 cap = capacity_[level];
+    for (u32 row : group.links[level]) {
+      u32& load = load_[level][row];
+      if (add) {
+        if (++load == cap + 1) ++overflowing_;
+      } else {
+        expects(load > 0, "link load underflow");
+        if (load-- == cap + 1) --overflowing_;
+      }
+    }
+  }
+}
+
+bool FabricState::try_add(GroupRealization group) {
+  validate_new_group(group);
+  expects(!contains(group.id), "group id already admitted");
+  for (u32 m : group.members)
+    expects(owner_[m] < 0, "groups must be pairwise disjoint");
+  for (u32 level = 0; level < group.links.size(); ++level)
+    for (u32 row : group.links[level])
+      if (load_[level][row] + 1 > capacity_[level]) return false;
+
+  for (u32 m : group.members) owner_[m] = static_cast<int>(group.id);
+  apply_load(group, true);
+  Entry& entry = groups_[group.id];
+  entry.group = std::move(group);
+  entry.dirty = true;
+  CONFNET_AUDIT_HOOK(maybe_periodic_audit());
+  return true;
+}
+
+bool FabricState::try_replace(u32 id, GroupRealization group) {
+  const auto it = groups_.find(id);
+  expects(it != groups_.end(), "replace of unknown group id");
+  expects(group.id == id, "replacement must keep the group id");
+  validate_new_group(group);
+  const GroupRealization& old = it->second.group;
+
+  // Capacity check on the links gained by the swap, before any change.
+  bool feasible = true;
+  for_each_delta(group.links, old.links, [&](u32 level, u32 row) {
+    if (load_[level][row] + 1 > capacity_[level]) feasible = false;
+  });
+  if (!feasible) return false;
+
+  replace(id, std::move(group));
+  return true;
+}
+
+void FabricState::replace(u32 id, GroupRealization group) {
+  const auto it = groups_.find(id);
+  expects(it != groups_.end(), "replace of unknown group id");
+  expects(group.id == id, "replacement must keep the group id");
+  validate_new_group(group);
+  Entry& entry = it->second;
+
+  for (u32 m : entry.group.members) owner_[m] = -1;
+  for (u32 m : group.members) {
+    expects(owner_[m] < 0, "groups must be pairwise disjoint");
+    owner_[m] = static_cast<int>(id);
+  }
+  for_each_delta(group.links, entry.group.links, [&](u32 level, u32 row) {
+    u32& load = load_[level][row];
+    if (++load == capacity_[level] + 1) ++overflowing_;
+  });
+  for_each_delta(entry.group.links, group.links, [&](u32 level, u32 row) {
+    u32& load = load_[level][row];
+    expects(load > 0, "link load underflow");
+    if (load-- == capacity_[level] + 1) --overflowing_;
+  });
+  entry.group = std::move(group);
+  entry.dirty = true;
+  CONFNET_AUDIT_HOOK(maybe_periodic_audit());
+}
+
+void FabricState::remove(u32 id) {
+  const auto it = groups_.find(id);
+  expects(it != groups_.end(), "remove of unknown group id");
+  apply_load(it->second.group, false);
+  for (u32 m : it->second.group.members) owner_[m] = -1;
+  groups_.erase(it);
+  CONFNET_AUDIT_HOOK(maybe_periodic_audit());
+}
+
+const GroupRealization& FabricState::group(u32 id) const {
+  const auto it = groups_.find(id);
+  expects(it != groups_.end(), "unknown group id");
+  return it->second.group;
+}
+
+const std::vector<MemberSet>& FabricState::delivered(u32 id) const {
+  const auto it = groups_.find(id);
+  expects(it != groups_.end(), "unknown group id");
+  if (it->second.dirty) propagate(it->second);
+  return it->second.delivered;
+}
+
+bool FabricState::delivery_ok() const {
+  for (const auto& [id, entry] : groups_) {
+    if (entry.dirty) propagate(entry);
+    if (entry.capability_violations != 0) return false;
+    for (std::size_t mi = 0; mi < entry.group.members.size(); ++mi)
+      if (entry.delivered[mi].values() != entry.group.members) return false;
+  }
+  return true;
+}
+
+u32 FabricState::load_at(u32 level, u32 row) const {
+  expects(level < load_.size(), "level out of range");
+  expects(row < net_.size(), "row out of range");
+  return load_[level][row];
+}
+
+u32 FabricState::level_peak_load(u32 level) const {
+  expects(level < load_.size(), "level out of range");
+  u32 peak = 0;
+  for (u32 v : load_[level]) peak = std::max(peak, v);
+  return peak;
+}
+
+void FabricState::propagate(const Entry& entry) const {
+  const GroupRealization& g = entry.group;
+  const u32 n = net_.n();
+
+  std::vector<std::vector<MemberSet>> sig(n + 1);
+  for (u32 level = 0; level <= n; ++level)
+    sig[level].resize(g.links[level].size());
+
+  entry.fan_in_ops = 0;
+  entry.fan_out_ops = 0;
+  entry.capability_violations = 0;
+
+  // Injection: a level-0 link carries its member's own signal.
+  for (std::size_t i = 0; i < g.links[0].size(); ++i) {
+    const u32 row = g.links[0][i];
+    if (std::binary_search(g.members.begin(), g.members.end(), row))
+      sig[0][i] = MemberSet::single(row);
+  }
+
+  // Sweep forward: each used link mixes its used predecessors.
+  for (u32 level = 1; level <= n; ++level) {
+    for (std::size_t i = 0; i < g.links[level].size(); ++i) {
+      const u32 row = g.links[level][i];
+      const auto preds = net_.predecessors(level, row);
+      u32 feeding = 0;
+      for (u32 q : preds) {
+        const std::size_t pi = index_of(g.links[level - 1], q);
+        if (pi == static_cast<std::size_t>(-1)) continue;
+        if (sig[level - 1][pi].empty()) continue;
+        sig[level][i].combine(sig[level - 1][pi]);
+        ++feeding;
+      }
+      if (feeding == 2) {
+        ++entry.fan_in_ops;
+        if (!fan_in_) ++entry.capability_violations;
+      }
+    }
+  }
+
+  // Fan-out accounting: a used link feeding both its successors.
+  for (u32 level = 0; level < n; ++level) {
+    for (std::size_t i = 0; i < g.links[level].size(); ++i) {
+      if (sig[level][i].empty()) continue;
+      const u32 row = g.links[level][i];
+      const auto succs = net_.successors(level, row);
+      u32 fed = 0;
+      for (u32 q : succs) {
+        if (index_of(g.links[level + 1], q) != static_cast<std::size_t>(-1))
+          ++fed;
+      }
+      if (fed == 2) {
+        ++entry.fan_out_ops;
+        if (!fan_out_) ++entry.capability_violations;
+      }
+    }
+  }
+
+  // Delivery: relay taps when present, otherwise level-n member rows.
+  entry.delivered.assign(g.members.size(), MemberSet{});
+  if (!g.taps.empty()) {
+    expects(g.taps.size() == g.members.size(),
+            "relay taps must cover every member");
+    for (const auto& tap : g.taps) {
+      const std::size_t mi = index_of(g.members, tap.output);
+      expects(mi != static_cast<std::size_t>(-1), "tap output is not a member");
+      expects(tap.tap_level <= n, "tap level out of range");
+      const std::size_t li = index_of(g.links[tap.tap_level], tap.output);
+      expects(li != static_cast<std::size_t>(-1),
+              "tap link is not part of the group's subnetwork");
+      entry.delivered[mi] = sig[tap.tap_level][li];
+    }
+  } else {
+    for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
+      const std::size_t li = index_of(g.links[n], g.members[mi]);
+      expects(li != static_cast<std::size_t>(-1),
+              "member output missing from level-n links");
+      entry.delivered[mi] = sig[n][li];
+    }
+  }
+  entry.dirty = false;
+}
+
+EvalReport FabricState::report() const {
+  const u32 N = net_.size();
+  const u32 n = net_.n();
+  EvalReport report;
+  report.max_link_load.assign(n + 1, 0);
+  for (u32 level = 0; level <= n; ++level) {
+    for (u32 r = 0; r < N; ++r) {
+      report.max_link_load[level] =
+          std::max(report.max_link_load[level], load_[level][r]);
+      if (load_[level][r] > capacity_[level])
+        report.overflows.push_back(Overflow{level, r, load_[level][r]});
+    }
+  }
+  report.delivered.reserve(groups_.size());
+  for (const auto& [id, entry] : groups_) {
+    if (entry.dirty) propagate(entry);
+    report.delivered.push_back(entry.delivered);
+    report.fan_in_ops += entry.fan_in_ops;
+    report.fan_out_ops += entry.fan_out_ops;
+    report.capability_violations += entry.capability_violations;
+  }
+  return report;
+}
+
+void FabricState::cross_check() const {
+  constexpr std::string_view kSub = "fabric_state";
+  const u32 N = net_.size();
+  const u32 n = net_.n();
+
+  // Recount the load matrix and overflow counter from the admitted groups.
+  std::vector<std::vector<u32>> expected_load(n + 1, std::vector<u32>(N, 0));
+  std::vector<int> expected_owner(N, -1);
+  u32 expected_overflowing = 0;
+  std::vector<GroupRealization> groups;
+  groups.reserve(groups_.size());
+  for (const auto& [id, entry] : groups_) {
+    groups.push_back(entry.group);
+    for (u32 level = 0; level <= n; ++level)
+      for (u32 row : entry.group.links[level]) ++expected_load[level][row];
+    for (u32 m : entry.group.members) {
+      audit::require(expected_owner[m] < 0, kSub,
+                     "admitted groups share a member port");
+      expected_owner[m] = static_cast<int>(id);
+    }
+  }
+  for (u32 level = 0; level <= n; ++level)
+    for (u32 row = 0; row < N; ++row)
+      if (expected_load[level][row] > capacity_[level]) ++expected_overflowing;
+  audit::require(load_ == expected_load, kSub,
+                 "incremental load matrix diverges from group recount");
+  audit::require(owner_ == expected_owner, kSub,
+                 "port ownership diverges from group membership");
+  audit::require(overflowing_ == expected_overflowing, kSub,
+                 "overflow counter diverges from load recount");
+
+  // Full stateless evaluation with unconstrained channels: compares the
+  // capacity-independent quantities (delivered signals, fan ops).
+  const Fabric oracle(
+      net_, FabricConfig{std::numeric_limits<u32>::max(), fan_in_, fan_out_});
+  const EvalReport expected = oracle.evaluate(groups);
+  const EvalReport actual = report();
+  audit::require(actual.delivered.size() == expected.delivered.size(), kSub,
+                 "group count diverges from the stateless oracle");
+  for (std::size_t gi = 0; gi < groups.size(); ++gi)
+    for (std::size_t mi = 0; mi < groups[gi].members.size(); ++mi)
+      audit::require(actual.delivered[gi][mi].values() ==
+                         expected.delivered[gi][mi].values(),
+                     kSub,
+                     "incremental delivered signals diverge from the "
+                     "stateless oracle");
+  audit::require(actual.fan_in_ops == expected.fan_in_ops, kSub,
+                 "fan-in op count diverges from the stateless oracle");
+  audit::require(actual.fan_out_ops == expected.fan_out_ops, kSub,
+                 "fan-out op count diverges from the stateless oracle");
+  audit::require(
+      actual.capability_violations == expected.capability_violations, kSub,
+      "capability violation count diverges from the stateless oracle");
+  audit::require(actual.max_link_load == expected.max_link_load, kSub,
+                 "per-level link-load maxima diverge from the stateless "
+                 "oracle");
+}
+
+void FabricState::maybe_periodic_audit() {
+  // Every mutation re-checks cheap counters implicitly via apply_load's
+  // contracts; the full stateless cross-check is amortized.
+  if (++mutations_ % 32 == 0) audit::check_fabric_state(*this);
+}
+
+}  // namespace confnet::sw
+
+namespace confnet::audit {
+
+void check_fabric_state(const sw::FabricState& state) {
+  for (u32 c : state.capacity_)
+    require(c >= 1, "fabric_state", "capacity below one channel");
+  state.cross_check();
+}
+
+}  // namespace confnet::audit

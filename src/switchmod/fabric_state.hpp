@@ -1,0 +1,145 @@
+// Incremental switch-fabric evaluation.
+//
+// `Fabric::evaluate` rebuilds the whole (n+1)×N load matrix and every
+// group's signal arrays on each call; fine for one-shot checks, quadratic
+// for a teletraffic run that opens/joins/leaves/closes thousands of
+// sessions. `FabricState` keeps the load matrix live and applies per-group
+// deltas instead:
+//   * mutations (try_add / try_replace / replace / remove) cost O(links of
+//     the touched group);
+//   * signal propagation is per group and lazy — a group's delivered
+//     member sets are recomputed only after that group changed, which is
+//     sound because signals mix only within a group's own links (the load
+//     matrix is the sole cross-group coupling);
+//   * capacity is per level (a dilation profile), enforced by the try_
+//     mutations before any state changes.
+//
+// The stateless engine stays the oracle: `cross_check()` re-evaluates
+// everything through `Fabric::evaluate` and throws on any divergence, and
+// CONFNET_AUDIT builds run it periodically from the mutation hooks (see
+// audit::check_fabric_state).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "min/network.hpp"
+#include "switchmod/fabric.hpp"
+
+namespace confnet::sw {
+class FabricState;
+}
+namespace confnet::audit {
+void check_fabric_state(const sw::FabricState& state);
+}
+
+namespace confnet::sw {
+
+class FabricState {
+ public:
+  /// Uniform capacity: `config.channels_per_link` on every level.
+  FabricState(const min::Network& net, FabricConfig config);
+  /// Per-level capacity (levels 0..n, every entry >= 1).
+  FabricState(const min::Network& net, std::vector<u32> capacity,
+              bool fan_in = true, bool fan_out = true);
+
+  FabricState(const FabricState&) = delete;
+  FabricState& operator=(const FabricState&) = delete;
+  FabricState(FabricState&&) = default;
+
+  // --- Mutations (all O(links of the touched group)). -------------------
+
+  /// Admit a group if every link it uses has a free channel. Returns false
+  /// (and changes nothing) on a capacity conflict. Members must be disjoint
+  /// from every admitted group's.
+  [[nodiscard]] bool try_add(GroupRealization group);
+
+  /// Atomically swap group `id` for a new realization if every link used by
+  /// the new one but not the old one has a free channel. Returns false (and
+  /// changes nothing) on a capacity conflict.
+  [[nodiscard]] bool try_replace(u32 id, GroupRealization group);
+
+  /// Unconditional swap (shrink paths, where the new link set cannot
+  /// oversubscribe anything the old one did not).
+  void replace(u32 id, GroupRealization group);
+
+  void remove(u32 id);
+
+  // --- Queries -----------------------------------------------------------
+
+  [[nodiscard]] u32 group_count() const noexcept {
+    return static_cast<u32>(groups_.size());
+  }
+  [[nodiscard]] bool contains(u32 id) const {
+    return groups_.find(id) != groups_.end();
+  }
+  [[nodiscard]] const GroupRealization& group(u32 id) const;
+
+  /// Delivered member sets at group `id`'s outputs (order of its members).
+  /// Lazily re-propagated after a mutation of that group.
+  [[nodiscard]] const std::vector<MemberSet>& delivered(u32 id) const;
+
+  /// True iff every member of every group hears exactly its group's member
+  /// set and no fan capability was violated. Capacity-independent, like the
+  /// unlimited-channel functional check it replaces.
+  [[nodiscard]] bool delivery_ok() const;
+
+  [[nodiscard]] u32 load_at(u32 level, u32 row) const;
+  /// Highest channel load currently on any link of the level.
+  [[nodiscard]] u32 level_peak_load(u32 level) const;
+  /// Links currently loaded beyond their capacity (0 when only try_
+  /// mutations were used).
+  [[nodiscard]] u32 overflowing_links() const noexcept { return overflowing_; }
+
+  [[nodiscard]] const std::vector<u32>& capacity() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] const min::Network& network() const noexcept { return net_; }
+
+  /// Visit every admitted group in ascending id order.
+  template <typename Fn>
+  void for_each_group(Fn&& fn) const {
+    for (const auto& [id, entry] : groups_) fn(entry.group);
+  }
+
+  /// Assemble the same report `Fabric::evaluate` would produce for the
+  /// admitted groups in ascending id order (delivered sets from the lazy
+  /// caches; overflow list and per-level maxima scanned from the live load
+  /// matrix). Not a hot path.
+  [[nodiscard]] EvalReport report() const;
+
+  /// Full stateless re-evaluation through `Fabric::evaluate`; throws
+  /// audit::AuditError on any divergence from the incremental state.
+  void cross_check() const;
+
+ private:
+  friend void audit::check_fabric_state(const FabricState& state);
+
+  struct Entry {
+    GroupRealization group;
+    // Lazy per-group evaluation results, valid when !dirty.
+    mutable bool dirty = true;
+    mutable std::vector<MemberSet> delivered;
+    mutable std::uint64_t fan_in_ops = 0;
+    mutable std::uint64_t fan_out_ops = 0;
+    mutable std::uint64_t capability_violations = 0;
+  };
+
+  void validate_new_group(const GroupRealization& group) const;
+  void apply_load(const GroupRealization& group, bool add);
+  void propagate(const Entry& entry) const;
+  void maybe_periodic_audit();
+
+  const min::Network& net_;
+  std::vector<u32> capacity_;  // levels 0..n
+  bool fan_in_;
+  bool fan_out_;
+  std::map<u32, Entry> groups_;
+  std::vector<std::vector<u32>> load_;  // [level][row]
+  std::vector<int> owner_;              // port -> group id, -1 when free
+  u32 overflowing_ = 0;
+  u32 mutations_ = 0;  // drives the periodic CONFNET_AUDIT cross-check
+};
+
+}  // namespace confnet::sw

@@ -36,6 +36,7 @@ class Network;
 }
 namespace confnet::sw {
 class Fabric;
+class FabricState;
 struct GroupRealization;
 }
 namespace confnet::conf {
@@ -130,6 +131,12 @@ void check_network(const min::Network& net);
 /// member set at legal levels.
 void check_group_realization(const min::Network& net,
                              const sw::GroupRealization& group);
+
+/// Incremental fabric state coherence: the live load matrix, port
+/// ownership and overflow counter equal a recount over the admitted
+/// groups, and the cached per-group delivered signals / fan-op counts
+/// match a full stateless `Fabric::evaluate` of the same groups.
+void check_fabric_state(const sw::FabricState& state);
 
 /// Placer bookkeeping: occupancy count matches the taken bitmap, and under
 /// buddy policy the allocator's free/allocated blocks tile the port space

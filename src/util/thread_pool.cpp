@@ -1,8 +1,6 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 
 #include "util/error.hpp"
 
@@ -26,6 +24,14 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
@@ -42,45 +48,9 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
-  const std::size_t workers = worker_count();
-  if (workers <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  // Dynamic chunking: enough chunks for balance, few enough for low overhead.
-  const std::size_t chunks = std::min(count, workers * 4);
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex err_mu;
-
-  std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
-  const std::size_t chunk_size = (count + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    futs.push_back(submit([&, chunk_size] {
-      while (true) {
-        const std::size_t base = next.fetch_add(chunk_size);
-        if (base >= count || failed.load(std::memory_order_relaxed)) return;
-        const std::size_t end = std::min(count, base + chunk_size);
-        for (std::size_t i = base; i < end; ++i) {
-          try {
-            fn(i);
-          } catch (...) {
-            {
-              std::lock_guard lock(err_mu);
-              if (!first_error) first_error = std::current_exception();
-            }
-            failed.store(true, std::memory_order_relaxed);
-            return;
-          }
-        }
-      }
-    }));
-  }
-  for (auto& f : futs) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+  parallel_for_chunks(count, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
 }
 
 ThreadPool& global_pool() {

@@ -4,18 +4,47 @@
 // The pool follows the shared-memory fork/join idiom of the OpenMP examples
 // this project's guides reference, expressed with std::jthread and a plain
 // mutex/condvar task queue so the library has no extra dependencies.
+//
+// Two fork/join entry points:
+//   * parallel_for(count, fn)        — fn(i) per index via std::function;
+//     convenient, but pays an indirect call per index.
+//   * parallel_for_chunks(count, b)  — templated; b(begin, end) per chunk,
+//     so the hot loop body inlines and per-index overhead vanishes. The
+//     calling thread participates in the chunk draining, which makes nested
+//     fork/join safe: a caller never parks waiting for workers that are
+//     themselves blocked in inner joins.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace confnet::util {
+
+namespace detail {
+/// Shared state of one parallel_for_chunks call. Helpers hold it by
+/// shared_ptr so stragglers scheduled after the join completes can still
+/// observe "all chunks claimed" and exit without touching the (by then
+/// dead) loop body on the caller's stack.
+struct ChunkControl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t completed = 0;  // guarded by mu
+  std::size_t total = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;  // guarded by mu
+};
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -36,11 +65,7 @@ class ThreadPool {
     using R = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return fut;
   }
 
@@ -49,8 +74,70 @@ class ThreadPool {
   /// invocation are rethrown (first one wins).
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Run `body(begin, end)` over disjoint subranges covering [0, count),
+  /// blocking until all complete. Templated: the body is invoked directly
+  /// (no std::function per index), so tight loops keep their inlined cost.
+  /// After any chunk throws, remaining chunks are skipped and the first
+  /// exception is rethrown on the calling thread.
+  template <typename Body>
+  void parallel_for_chunks(std::size_t count, Body&& body) {
+    if (count == 0) return;
+    const std::size_t workers = worker_count();
+    if (workers <= 1 || count == 1) {
+      body(std::size_t{0}, count);
+      return;
+    }
+    // Dynamic chunking: enough chunks for balance, few enough for low
+    // overhead.
+    const std::size_t chunks = std::min(count, workers * 4);
+    const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+    auto control = std::make_shared<detail::ChunkControl>();
+    control->total = chunks;
+    std::remove_reference_t<Body>* body_ptr = std::addressof(body);
+
+    const auto drain = [control, count, chunks, chunk_size, body_ptr] {
+      while (true) {
+        const std::size_t c = control->next_chunk.fetch_add(1);
+        if (c >= chunks) return;
+        std::exception_ptr error;
+        if (!control->failed.load(std::memory_order_relaxed)) {
+          const std::size_t begin = c * chunk_size;
+          const std::size_t end = std::min(count, begin + chunk_size);
+          try {
+            (*body_ptr)(begin, end);
+          } catch (...) {
+            error = std::current_exception();
+          }
+        }
+        bool done = false;
+        {
+          std::lock_guard lock(control->mu);
+          if (error) {
+            if (!control->first_error) control->first_error = error;
+            control->failed.store(true, std::memory_order_relaxed);
+          }
+          done = ++control->completed == control->total;
+        }
+        if (done) control->cv.notify_all();
+      }
+    };
+
+    // One helper per worker (bounded by the chunk count); the caller drains
+    // too, so a chunk always makes progress even when every worker is busy.
+    const std::size_t helpers = std::min(chunks, workers + 1) - 1;
+    for (std::size_t i = 0; i < helpers; ++i) enqueue(drain);
+    drain();
+
+    std::unique_lock lock(control->mu);
+    control->cv.wait(lock,
+                     [&] { return control->completed == control->total; });
+    if (control->first_error) std::rethrow_exception(control->first_error);
+  }
+
  private:
   void worker_loop();
+  void enqueue(std::function<void()> task);
 
   std::mutex mu_;
   std::condition_variable cv_;

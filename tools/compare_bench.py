@@ -3,7 +3,8 @@
 
 Usage:
     python3 tools/compare_bench.py BASELINE.json CANDIDATE.json \
-        [--tolerance 0.05] [--metric-tolerance 0.20]
+        [--tolerance 0.05] [--metric-tolerance 0.20] \
+        [--time-tolerance 0.25] [--warn-only]
 
 Compares, in order:
   1. Tables (the reconstructed paper artifacts). Tables are matched by
@@ -14,8 +15,15 @@ Compares, in order:
      violations): any increase beyond `--metric-tolerance` (default 20%,
      absolute slack of 1 for near-zero baselines) is flagged as a
      regression; other counters are reported informationally.
+  3. Google-benchmark timing sections, when either document carries a
+     top-level "benchmarks" array (native --benchmark_out files and the
+     tools/perf_smoke.py merge both qualify). Benchmarks are matched by
+     name; a real_time growth beyond `--time-tolerance` (default 25%) is
+     flagged. Wall time is noisy on shared runners — pair this with
+     `--warn-only` in CI so timing drift is surfaced without gating.
 
 Exit status: 0 = no regressions, 1 = regressions found, 2 = usage error.
+With --warn-only, regressions still print but the exit status stays 0.
 The human-readable diff goes to stdout either way.
 """
 
@@ -109,6 +117,45 @@ def compare_metrics(base: dict, cand: dict, metric_tolerance: float,
             infos.append(line)
 
 
+def benchmark_map(doc: dict) -> dict[str, dict]:
+    """name -> entry for a google-benchmark "benchmarks" array.
+
+    Aggregate rows (_mean/_median/_stddev/_cv) are skipped so repetition
+    runs compare their primary measurements only.
+    """
+    out: dict[str, dict] = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("name", "")
+        if entry.get("run_type") == "aggregate":
+            continue
+        out[name] = entry
+    return out
+
+
+def compare_timings(base: dict, cand: dict, time_tolerance: float,
+                    problems: list[str], infos: list[str]) -> None:
+    bb, cb = benchmark_map(base), benchmark_map(cand)
+    if not bb and not cb:
+        return
+    for name in sorted(set(bb) - set(cb)):
+        problems.append(f"benchmark dropped: '{name}'")
+    for name in sorted(set(cb) - set(bb)):
+        infos.append(f"benchmark added: '{name}'")
+    for name in sorted(set(bb) & set(cb)):
+        b, c = bb[name].get("real_time"), cb[name].get("real_time")
+        if b is None or c is None or b <= 0:
+            continue
+        unit = cb[name].get("time_unit", "ns")
+        ratio = c / b
+        line = (f"benchmark {name}: real_time {b:.4g} -> {c:.4g} {unit} "
+                f"({ratio:.2f}x)")
+        if ratio > 1.0 + time_tolerance:
+            problems.append(f"{line} (beyond {time_tolerance:.0%} "
+                            f"wall-time tolerance)")
+        else:
+            infos.append(line)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Diff two bench --json artifacts.")
@@ -118,6 +165,10 @@ def main() -> int:
                         help="relative tolerance for numeric table cells")
     parser.add_argument("--metric-tolerance", type=float, default=0.20,
                         help="allowed relative growth of failure counters")
+    parser.add_argument("--time-tolerance", type=float, default=0.25,
+                        help="allowed relative growth of benchmark real_time")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="print regressions but always exit 0")
     args = parser.parse_args()
 
     try:
@@ -135,6 +186,7 @@ def main() -> int:
     infos: list[str] = []
     compare_tables(base, cand, args.tolerance, problems, infos)
     compare_metrics(base, cand, args.metric_tolerance, problems, infos)
+    compare_timings(base, cand, args.time_tolerance, problems, infos)
 
     header = (f"{base.get('experiment', '?')}: "
               f"{args.baseline.name} vs {args.candidate.name}")
@@ -145,6 +197,9 @@ def main() -> int:
         print(f"  {len(problems)} REGRESSION(S):")
         for line in problems:
             print(f"  FAIL: {line}")
+        if args.warn_only:
+            print("  (--warn-only: exiting 0)")
+            return 0
         return 1
     print("  no regressions")
     return 0

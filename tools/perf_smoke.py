@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Run the hot-path benchmark sections and merge them into one artifact.
+
+Usage:
+    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr3.json]
+        [--min-time SECONDS]
+
+Runs the BM_* timing sections of the benchmark binaries that cover the
+optimized hot paths:
+
+  * bench_e2_multiplicity  — BM_MeasureMultiplicity (allocation-free
+    kernel) vs BM_MeasureMultiplicityReference (row-vector oracle);
+  * bench_e4_load_multiplicity — BM_MonteCarloTrial (parallel fan-out) vs
+    BM_MonteCarloTrialSerialReference;
+  * bench_e8_latency — BM_SteadyStateEventRate/0 (incremental FabricState
+    verification) vs /1 (stateless Fabric::evaluate rebuild).
+
+Each binary writes a native google-benchmark JSON file; the tool merges
+them into one document whose top-level "benchmarks" array carries
+binary-prefixed names ("bench_e2_multiplicity/BM_MeasureMultiplicity/6"),
+ready for tools/compare_bench.py's timing section:
+
+    python3 tools/perf_smoke.py --out BENCH_new.json
+    python3 tools/compare_bench.py BENCH_pr3.json BENCH_new.json --warn-only
+
+Exit status: 0 = all binaries ran, 1 = a binary failed, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# (binary, benchmark_filter) — filters keep the smoke run focused on the
+# hot-path sections (bench_e8 also registers a slow talk-spurt benchmark).
+TARGETS = (
+    ("bench_e2_multiplicity", "BM_MeasureMultiplicity"),
+    ("bench_e4_load_multiplicity", "BM_MonteCarloTrial"),
+    ("bench_e8_latency", "BM_SteadyStateEventRate"),
+)
+
+SEARCH_DIRS = ("build/bench", "build/release/bench")
+
+
+def find_binary(build_dir: Path | None, name: str) -> Path | None:
+    dirs = [build_dir / "bench", build_dir] if build_dir else \
+        [Path(d) for d in SEARCH_DIRS]
+    for d in dirs:
+        candidate = d / name
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def run_one(binary: Path, bench_filter: str, min_time: float,
+            out_path: Path) -> dict:
+    cmd = [
+        str(binary),
+        f"--benchmark_filter={bench_filter}",
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+    ]
+    if min_time > 0:
+        cmd.append(f"--benchmark_min_time={min_time:g}s")
+    print(f"+ {' '.join(cmd)}", flush=True)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    return json.loads(out_path.read_text(encoding="utf-8"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Run hot-path benchmarks, merge into one JSON artifact.")
+    parser.add_argument("--build-dir", type=Path, default=None,
+                        help="build tree holding bench/ (default: search "
+                             f"{', '.join(SEARCH_DIRS)})")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr3.json"))
+    parser.add_argument("--min-time", type=float, default=0.0,
+                        help="--benchmark_min_time per benchmark (seconds); "
+                             "0 keeps the google-benchmark default")
+    args = parser.parse_args()
+
+    merged: dict = {"perf_smoke": 1, "contexts": {}, "benchmarks": []}
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, bench_filter in TARGETS:
+            binary = find_binary(args.build_dir, name)
+            if binary is None:
+                print(f"SKIP {name}: binary not found (build the bench "
+                      "targets first)", file=sys.stderr)
+                failures += 1
+                continue
+            try:
+                doc = run_one(binary, bench_filter, args.min_time,
+                              Path(tmp) / f"{name}.json")
+            except subprocess.CalledProcessError as exc:
+                print(f"FAIL {name}: exit {exc.returncode}", file=sys.stderr)
+                failures += 1
+                continue
+            merged["contexts"][name] = doc.get("context", {})
+            for entry in doc.get("benchmarks", []):
+                entry = dict(entry)
+                entry["name"] = f"{name}/{entry.get('name', '?')}"
+                if "run_name" in entry:
+                    entry["run_name"] = f"{name}/{entry['run_name']}"
+                merged["benchmarks"].append(entry)
+
+    args.out.write_text(json.dumps(merged, indent=2) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {len(merged['benchmarks'])} benchmark rows to {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
