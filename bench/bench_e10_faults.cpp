@@ -12,6 +12,7 @@
 #include "bench_common.hpp"
 #include "conference/subnetwork.hpp"
 #include "min/faults.hpp"
+#include "sim/teletraffic.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -116,6 +117,40 @@ void emit_tables() {
     bench::show(t);
   }
 
+  {
+    // Dynamic recovery: the full runtime loop (MTTF/MTTR fault process,
+    // teardown, repack / wait / retry-backoff) under live traffic.
+    util::Table t(
+        "availability under a live fault process (omega N=32, arrival 2.0, "
+        "holding 2.0, MTTR 1.0, duration 400, seed 11)",
+        {"fault rate", "interrupted", "recovered", "dropped", "drop rate",
+         "mean recovery latency", "degraded fraction"});
+    for (double fault_rate : {0.05, 0.2, 0.5, 1.0}) {
+      conf::DirectConferenceNetwork net(Kind::kOmega, 5,
+                                        conf::DilationProfile::full(5));
+      sim::TeletrafficConfig c;
+      c.traffic.arrival_rate = 2.0;
+      c.traffic.mean_holding = 2.0;
+      c.traffic.min_size = 2;
+      c.traffic.max_size = 6;
+      c.duration = 400.0;
+      c.warmup = 50.0;
+      c.seed = 11;
+      c.fault_rate = fault_rate;
+      c.repair_rate = 1.0;
+      const sim::TeletrafficResult r = sim::run_teletraffic(net, c);
+      t.row()
+          .cell(fault_rate, 2)
+          .cell(r.sessions_interrupted)
+          .cell(r.sessions_recovered)
+          .cell(r.sessions_dropped)
+          .cell(r.dropped_session_rate, 4)
+          .cell(r.recovery_latency.mean, 4)
+          .cell(r.degraded_fraction, 5);
+    }
+    bench::show(t);
+  }
+
   std::cout << "Shape: connectivity tracks the analytic (1-p)^(n-1) for "
                "every topology\n(equivalence in action); survival decays "
                "with conference size; the enhanced\nrealization cuts the "
@@ -144,6 +179,54 @@ void BM_ConferenceSurvival(benchmark::State& state) {
         min::conference_survives(Kind::kIndirectCube, n, members, faults));
 }
 BENCHMARK(BM_ConferenceSurvival)->DenseRange(6, 12, 2);
+
+void BM_FailRepairRoundTrip(benchmark::State& state) {
+  // Live fault events on a loaded fabric: one fail_link (dirtying only the
+  // groups on the link) plus the matching repair_link.
+  const u32 n = static_cast<u32>(state.range(0));
+  conf::DirectConferenceNetwork net(Kind::kOmega, n,
+                                    conf::DilationProfile::full(n));
+  conf::SessionManager mgr(net, conf::PlacementPolicy::kBuddy);
+  util::Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    const u32 size = 2 + static_cast<u32>(rng.below(6));
+    (void)mgr.open(size, rng);
+  }
+  const u32 N = net.size();
+  u32 row = 0;
+  for (auto _ : state) {
+    row = (row + 1) % N;
+    benchmark::DoNotOptimize(net.fail_link(1, row));
+    benchmark::DoNotOptimize(net.repair_link(1, row));
+  }
+  state.counters["active_groups"] =
+      static_cast<double>(net.active_count());
+}
+BENCHMARK(BM_FailRepairRoundTrip)->DenseRange(5, 7, 1);
+
+void BM_TeletrafficRecovery(benchmark::State& state) {
+  // End-to-end availability run (fault process + recovery) per iteration.
+  for (auto _ : state) {
+    conf::DirectConferenceNetwork net(Kind::kOmega, 5,
+                                      conf::DilationProfile::full(5));
+    sim::TeletrafficConfig c;
+    c.traffic.arrival_rate = 2.0;
+    c.traffic.mean_holding = 2.0;
+    c.traffic.min_size = 2;
+    c.traffic.max_size = 6;
+    c.duration = 200.0;
+    c.warmup = 25.0;
+    c.seed = 17;
+    c.fault_rate = 0.25;
+    c.repair_rate = 1.0;
+    const sim::TeletrafficResult r = sim::run_teletraffic(net, c);
+    benchmark::DoNotOptimize(r.sessions_recovered);
+    state.counters["interrupted"] =
+        static_cast<double>(r.sessions_interrupted);
+    state.counters["recovered"] = static_cast<double>(r.sessions_recovered);
+  }
+}
+BENCHMARK(BM_TeletrafficRecovery);
 
 }  // namespace
 }  // namespace confnet

@@ -48,6 +48,20 @@ u64 DilationProfile::total_channels() const {
   return total;
 }
 
+std::vector<u32> ConferenceNetworkBase::fail_link(u32 level, u32 row) {
+  (void)level;
+  (void)row;
+  expects(false, "design does not support live link faults");
+  return {};
+}
+
+std::vector<u32> ConferenceNetworkBase::repair_link(u32 level, u32 row) {
+  (void)level;
+  (void)row;
+  expects(false, "design does not support live link faults");
+  return {};
+}
+
 // ---------------------------------------------------------------------------
 // DirectConferenceNetwork
 // ---------------------------------------------------------------------------
@@ -74,7 +88,9 @@ std::vector<u32> without_member(const std::vector<u32>& members, u32 port) {
 /// The stateless-oracle functional check shared by both designs: rebuild
 /// every group and re-propagate through Fabric::evaluate with unlimited
 /// channels (capacity was enforced at setup, so this reports pure delivery
-/// correctness).
+/// correctness). Evaluated against the design's live fault set, so a
+/// degraded group fails the check exactly when a member stops hearing the
+/// full conference.
 bool verify_via_fabric(const min::Network& net, const sw::FabricState& state) {
   std::vector<sw::GroupRealization> groups;
   groups.reserve(state.group_count());
@@ -82,7 +98,7 @@ bool verify_via_fabric(const min::Network& net, const sw::FabricState& state) {
       [&](const sw::GroupRealization& g) { groups.push_back(g); });
   const sw::Fabric fabric(net,
                           sw::FabricConfig{net.size(), true, true});
-  const sw::EvalReport report = fabric.evaluate(groups);
+  const sw::EvalReport report = fabric.evaluate(groups, &state.faults());
   if (!report.ok()) return false;
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
     for (std::size_t mi = 0; mi < groups[gi].members.size(); ++mi) {
@@ -124,6 +140,10 @@ std::optional<u32> DirectConferenceNetwork::setup(
   g.id = next_handle_;
   g.links = all_pairs_links(net_.kind(), n(), sorted);
   g.members = std::move(sorted);
+  if (!state_.links_clear(g.links)) {
+    last_error_ = SetupError::kLinkFaulty;
+    return std::nullopt;
+  }
   if (!state_.try_add(std::move(g))) {
     last_error_ = SetupError::kLinkCapacity;
     return std::nullopt;
@@ -160,6 +180,10 @@ bool DirectConferenceNetwork::add_member(u32 handle, u32 port) {
   grown.id = handle;
   grown.members = with_member(state_.group(handle).members, port);
   grown.links = all_pairs_links(net_.kind(), n(), grown.members);
+  if (!state_.links_clear(grown.links)) {
+    last_error_ = SetupError::kLinkFaulty;
+    return false;
+  }
   if (!state_.try_replace(handle, std::move(grown))) {
     last_error_ = SetupError::kLinkCapacity;
     return false;
@@ -195,6 +219,18 @@ const std::vector<u32>& DirectConferenceNetwork::members_for(
 u32 DirectConferenceNetwork::current_level_load(u32 level) const {
   expects(level <= n(), "level out of range");
   return state_.level_peak_load(level);
+}
+
+std::vector<u32> DirectConferenceNetwork::fail_link(u32 level, u32 row) {
+  auto touched = state_.fail_link(level, row);
+  CONFNET_AUDIT_HOOK(audit::check_direct_network(*this));
+  return touched;
+}
+
+std::vector<u32> DirectConferenceNetwork::repair_link(u32 level, u32 row) {
+  auto touched = state_.repair_link(level, row);
+  CONFNET_AUDIT_HOOK(audit::check_direct_network(*this));
+  return touched;
 }
 
 // ---------------------------------------------------------------------------
@@ -233,6 +269,10 @@ std::optional<u32> EnhancedCubeNetwork::setup(
   std::vector<u32> sorted = members;
   std::sort(sorted.begin(), sorted.end());
   EnhancedRealization real = enhanced_cube_realization(n(), sorted);
+  if (!state_.links_clear(real.links)) {
+    last_error_ = SetupError::kLinkFaulty;
+    return std::nullopt;
+  }
   // The enhanced design keeps single-channel links; a conflict means the
   // placement was not aligned (or the fabric is genuinely oversubscribed).
   if (!state_.try_add(realize(next_handle_, std::move(sorted),
@@ -270,6 +310,10 @@ bool EnhancedCubeNetwork::add_member(u32 handle, u32 port) {
   }
   std::vector<u32> grown = with_member(state_.group(handle).members, port);
   EnhancedRealization real = enhanced_cube_realization(n(), grown);
+  if (!state_.links_clear(real.links)) {
+    last_error_ = SetupError::kLinkFaulty;
+    return false;
+  }
   // A grown conference may also RELEASE links: joining a member outside the
   // old span raises the tap level, but within a span it only adds links.
   // try_replace checks capacity on the gained links only.
@@ -309,6 +353,18 @@ u32 EnhancedCubeNetwork::tap_level(u32 handle) const {
   const sw::GroupRealization& g = state_.group(handle);
   ensures(!g.taps.empty(), "enhanced group must carry taps");
   return g.taps.front().tap_level;
+}
+
+std::vector<u32> EnhancedCubeNetwork::fail_link(u32 level, u32 row) {
+  auto touched = state_.fail_link(level, row);
+  CONFNET_AUDIT_HOOK(audit::check_enhanced_network(*this));
+  return touched;
+}
+
+std::vector<u32> EnhancedCubeNetwork::repair_link(u32 level, u32 row) {
+  auto touched = state_.repair_link(level, row);
+  CONFNET_AUDIT_HOOK(audit::check_enhanced_network(*this));
+  return touched;
 }
 
 }  // namespace confnet::conf

@@ -33,6 +33,7 @@ namespace confnet::conf {
 enum class SetupError : std::uint8_t {
   kPortBusy,       // a requested member port is already in a conference
   kLinkCapacity,   // an interstage link would exceed its channel count
+  kLinkFaulty,     // the realization would cross a live faulty link
 };
 
 /// Per-level interstage channel capacities.
@@ -111,6 +112,45 @@ class ConferenceNetworkBase {
   /// Members of an active conference.
   [[nodiscard]] virtual const std::vector<u32>& members_for(
       u32 handle) const = 0;
+
+  /// Underlying MIN topology (drives fault-path algebra such as
+  /// min::connectivity on the design's live fault set).
+  [[nodiscard]] virtual min::Kind kind() const noexcept = 0;
+
+  // --- Live-fault interface ----------------------------------------------
+  // Designs that support runtime link faults override this whole group;
+  // the defaults model a fault-free fabric (queries report healthy,
+  // fault mutations are contract violations).
+
+  [[nodiscard]] virtual bool supports_faults() const noexcept { return false; }
+
+  /// Fail link (level,row); returns the handles of active conferences whose
+  /// realization uses it (idempotent: empty when already faulty). Affected
+  /// conferences stay active but degraded until the control plane tears
+  /// them down — see conf::RecoveryCoordinator.
+  [[nodiscard]] virtual std::vector<u32> fail_link(u32 level, u32 row);
+
+  /// Repair link (level,row); returns the handles of conferences touching
+  /// the repaired link.
+  virtual std::vector<u32> repair_link(u32 level, u32 row);
+
+  [[nodiscard]] virtual bool link_faulty(u32 level, u32 row) const {
+    (void)level;
+    (void)row;
+    return false;
+  }
+
+  /// The design's live fault set, or nullptr when the design has no fault
+  /// support.
+  [[nodiscard]] virtual const min::FaultSet* faults() const noexcept {
+    return nullptr;
+  }
+
+  /// True iff the conference's realization avoids every live faulty link.
+  [[nodiscard]] virtual bool conference_survives(u32 handle) const {
+    (void)handle;
+    return true;
+  }
 };
 
 class DirectConferenceNetwork final : public ConferenceNetworkBase {
@@ -137,9 +177,24 @@ class DirectConferenceNetwork final : public ConferenceNetworkBase {
   [[nodiscard]] const DilationProfile& dilation() const noexcept {
     return dilation_;
   }
-  [[nodiscard]] min::Kind kind() const noexcept { return net_.kind(); }
+  [[nodiscard]] min::Kind kind() const noexcept override {
+    return net_.kind();
+  }
   /// Highest channel load currently on any link of the level.
   [[nodiscard]] u32 current_level_load(u32 level) const;
+
+  [[nodiscard]] bool supports_faults() const noexcept override { return true; }
+  [[nodiscard]] std::vector<u32> fail_link(u32 level, u32 row) override;
+  std::vector<u32> repair_link(u32 level, u32 row) override;
+  [[nodiscard]] bool link_faulty(u32 level, u32 row) const override {
+    return state_.link_faulty(level, row);
+  }
+  [[nodiscard]] const min::FaultSet* faults() const noexcept override {
+    return &state_.faults();
+  }
+  [[nodiscard]] bool conference_survives(u32 handle) const override {
+    return state_.group_survives(handle);
+  }
 
  private:
   friend void audit::check_direct_network(const ::confnet::conf::DirectConferenceNetwork&);
@@ -179,6 +234,22 @@ class EnhancedCubeNetwork final : public ConferenceNetworkBase {
 
   [[nodiscard]] u32 stages_for(u32 handle) const override {
     return tap_level(handle);
+  }
+
+  [[nodiscard]] min::Kind kind() const noexcept override {
+    return net_.kind();
+  }
+  [[nodiscard]] bool supports_faults() const noexcept override { return true; }
+  [[nodiscard]] std::vector<u32> fail_link(u32 level, u32 row) override;
+  std::vector<u32> repair_link(u32 level, u32 row) override;
+  [[nodiscard]] bool link_faulty(u32 level, u32 row) const override {
+    return state_.link_faulty(level, row);
+  }
+  [[nodiscard]] const min::FaultSet* faults() const noexcept override {
+    return &state_.faults();
+  }
+  [[nodiscard]] bool conference_survives(u32 handle) const override {
+    return state_.group_survives(handle);
   }
 
  private:

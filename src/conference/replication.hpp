@@ -67,6 +67,8 @@ class ReplicatedConferenceNetwork final : public ConferenceNetworkBase {
   [[nodiscard]] bool remove_member(u32 handle, u32 port) override;
   [[nodiscard]] const std::vector<u32>& members_for(u32 handle) const override;
 
+  [[nodiscard]] min::Kind kind() const noexcept override { return kind_; }
+
   [[nodiscard]] u32 planes() const noexcept {
     return static_cast<u32>(planes_.size());
   }

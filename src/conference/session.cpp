@@ -1,5 +1,7 @@
 #include "conference/session.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -7,6 +9,10 @@
 namespace confnet::conf {
 
 namespace {
+
+/// Bound on the fault-repack probe loop in open(): how many distinct
+/// placements to try before declaring the attempt fault-blocked.
+constexpr int kFaultRepackAttempts = 32;
 
 /// Shared observability handles for every SessionManager instance: the
 /// registry aggregates across managers (and replications), matching the
@@ -20,6 +26,10 @@ struct SessionMetrics {
       obs::Registry::global().counter("conf", "blocked_placement");
   obs::Counter& blocked_capacity =
       obs::Registry::global().counter("conf", "blocked_capacity");
+  obs::Counter& blocked_fault =
+      obs::Registry::global().counter("conf", "blocked_fault");
+  obs::Counter& interrupted =
+      obs::Registry::global().counter("conf", "interrupted");
   obs::Counter& closes = obs::Registry::global().counter("conf", "closes");
   obs::Counter& joins = obs::Registry::global().counter("conf", "joins");
   obs::Counter& joins_blocked =
@@ -55,7 +65,34 @@ std::pair<OpenResult, std::optional<u32>> SessionManager::open(
     CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
     return {OpenResult::kBlockedPlacement, std::nullopt};
   }
-  const auto handle = network_.setup(*ports);
+  auto handle = network_.setup(*ports);
+  if (!handle && network_.last_error() == SetupError::kLinkFaulty) {
+    // Fault-aware repack: a deterministic placer (buddy, first-fit) would
+    // hand back the same dead window forever, so hold each failed placement
+    // while probing for the next one — the placer is forced onto fresh
+    // windows — and release the holds afterwards.
+    std::vector<std::vector<u32>> held;
+    held.push_back(std::move(*ports));
+    ports.reset();
+    for (int attempt = 1; attempt < kFaultRepackAttempts; ++attempt) {
+      auto retry = placer_.place(size, rng);
+      if (!retry) break;
+      handle = network_.setup(*retry);
+      if (handle) {
+        ports = std::move(retry);
+        break;
+      }
+      held.push_back(std::move(*retry));
+    }
+    for (const auto& window : held) placer_.release(window);
+    if (!handle) {
+      ++stats_.blocked_fault;
+      m.blocked_fault.add();
+      obs::trace_emit("conf", "open_blocked_fault", size);
+      CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
+      return {OpenResult::kBlockedFault, std::nullopt};
+    }
+  }
   if (!handle) {
     placer_.release(*ports);
     ++stats_.blocked_capacity;
@@ -149,6 +186,25 @@ u32 SessionManager::handle_of(u32 session_id) const {
   return it->second.handle;
 }
 
+std::vector<u32> SessionManager::sessions_using(
+    const std::vector<u32>& handles) const {
+  std::vector<u32> sorted = handles;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<u32> ids;
+  for (const auto& [id, session] : sessions_)
+    if (std::binary_search(sorted.begin(), sorted.end(), session.handle))
+      ids.push_back(id);
+  return ids;
+}
+
+void SessionManager::interrupt(u32 session_id) {
+  SessionMetrics& m = SessionMetrics::get();
+  ++stats_.interrupted;
+  m.interrupted.add();
+  obs::trace_emit("conf", "interrupt", session_id);
+  close(session_id);
+}
+
 }  // namespace confnet::conf
 
 namespace confnet::audit {
@@ -157,8 +213,10 @@ void check_session_stats(const conf::SessionStats& stats,
                          u64 active_sessions) {
   constexpr std::string_view kSub = "session";
   require(stats.attempts == stats.accepted + stats.blocked_placement +
-                                stats.blocked_capacity,
+                                stats.blocked_capacity + stats.blocked_fault,
           kSub, "attempts do not split into accepted + blocking causes");
+  require(stats.interrupted <= stats.closes, kSub,
+          "more fault interrupts than closes");
   require(active_sessions <= stats.accepted, kSub,
           "more live sessions than accepted opens");
   require(stats.closes <= stats.accepted, kSub,

@@ -19,6 +19,7 @@ enum class OpenResult : std::uint8_t {
   kAccepted,
   kBlockedPlacement,  // no ports available (or buddy fragmentation)
   kBlockedCapacity,   // fabric link channels exhausted
+  kBlockedFault,      // every viable placement crosses a live faulty link
 };
 
 /// Cumulative control-plane accounting. Every field is also published to
@@ -30,15 +31,19 @@ struct SessionStats {
   u64 accepted = 0;
   u64 blocked_placement = 0;
   u64 blocked_capacity = 0;
+  u64 blocked_fault = 0;
   u64 closes = 0;
   u64 joins = 0;
   u64 joins_blocked = 0;
   u64 leaves = 0;
+  /// Closes forced by a link failure (subset of `closes`); see interrupt().
+  u64 interrupted = 0;
 
   [[nodiscard]] double blocking_probability() const noexcept {
     return attempts == 0
                ? 0.0
-               : static_cast<double>(blocked_placement + blocked_capacity) /
+               : static_cast<double>(blocked_placement + blocked_capacity +
+                                     blocked_fault) /
                      static_cast<double>(attempts);
   }
 };
@@ -69,6 +74,19 @@ class SessionManager {
 
   /// Members of an open session.
   [[nodiscard]] const std::vector<u32>& members_of(u32 session_id) const;
+
+  [[nodiscard]] bool contains(u32 session_id) const {
+    return sessions_.find(session_id) != sessions_.end();
+  }
+
+  /// Session ids whose fabric handle is in `handles` (e.g. the conferences a
+  /// ConferenceNetworkBase::fail_link reported), ascending. O(sessions).
+  [[nodiscard]] std::vector<u32> sessions_using(
+      const std::vector<u32>& handles) const;
+
+  /// Close a session because a fault tore it down (counts `interrupted` on
+  /// top of the regular close accounting).
+  void interrupt(u32 session_id);
 
   /// Fabric handle of an open session (for design-specific queries such as
   /// ConferenceNetworkBase::stages_for).

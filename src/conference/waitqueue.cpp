@@ -107,6 +107,13 @@ std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::process_queue(
   return served;
 }
 
+std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::drain(
+    util::Rng& rng) {
+  auto served = process_queue(rng);
+  CONFNET_AUDIT_HOOK(audit::check_waitqueue(*this));
+  return served;
+}
+
 bool WaitQueueManager::abandon(Ticket ticket) {
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (it->id == ticket.id) {

@@ -69,6 +69,10 @@ class WaitQueueManager {
   /// queued (already served or never existed).
   bool abandon(Ticket ticket);
 
+  /// Admit as many waiters as now fit without closing anything — the hook
+  /// for capacity returning from outside the queue (e.g. a link repair).
+  std::vector<ServedTicket> drain(util::Rng& rng);
+
   [[nodiscard]] std::size_t queue_length() const noexcept {
     return queue_.size();
   }

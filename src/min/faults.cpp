@@ -35,6 +35,17 @@ bool FaultSet::is_faulty(u32 level, u32 row) const {
   return faulty_[level].test(row);
 }
 
+void FaultSet::clear() {
+  for (auto& level : faulty_) level.clear();
+  count_ = 0;
+}
+
+bool FaultSet::count_consistent() const noexcept {
+  u64 recount = 0;
+  for (const auto& level : faulty_) recount += level.count();
+  return recount == count_;
+}
+
 void FaultSet::inject_random(double p, util::Rng& rng) {
   expects(p >= 0.0 && p <= 1.0, "fault probability in [0,1]");
   for (u32 level = 1; level < n_; ++level)

@@ -25,12 +25,24 @@ class FaultSet {
   [[nodiscard]] u32 n() const noexcept { return n_; }
   [[nodiscard]] u32 size() const noexcept { return u32{1} << n_; }
 
+  /// Both mutations are idempotent: failing an already-faulty link (or
+  /// repairing a healthy one) changes nothing, so `fault_count()` can never
+  /// drift from the bitset population under any fail/repair/inject
+  /// interleaving (pinned by `count_consistent()` and the audit hooks).
   void fail_link(u32 level, u32 row);
   void repair_link(u32 level, u32 row);
   [[nodiscard]] bool is_faulty(u32 level, u32 row) const;
   [[nodiscard]] u64 fault_count() const noexcept { return count_; }
 
+  /// Repair every link (fault_count() back to 0).
+  void clear();
+
+  /// `fault_count()` equals a full recount of the per-level bitsets. Used
+  /// by the fabric-state audit to catch any future counter drift.
+  [[nodiscard]] bool count_consistent() const noexcept;
+
   /// Fail every interstage link independently with probability p.
+  /// Re-drawing an already-faulty link is counted once (see fail_link).
   void inject_random(double p, util::Rng& rng);
 
   /// Fail a whole stage-`stage` switch (its two output links).

@@ -1,11 +1,14 @@
 // The dynamic-conference teletraffic experiment: Poisson session arrivals
 // into a SessionManager over a chosen network design, with blocking
 // accounting, time-weighted occupancy, optional per-member talk-spurt
-// simulation and periodic functional verification of the fabric.
+// simulation, periodic functional verification of the fabric, and an
+// optional MTTF/MTTR link-fault process with session recovery (availability
+// results: dropped-session rate, recovery latency, degraded capacity).
 #pragma once
 
 #include <cstdint>
 
+#include "conference/recovery.hpp"
 #include "conference/session.hpp"
 #include "sim/traffic.hpp"
 #include "util/stats.hpp"
@@ -33,6 +36,14 @@ struct TeletrafficConfig {
   bool membership_churn = false;
   double join_rate = 0.5;
   double leave_rate = 0.5;
+  /// Link-fault process: interstage links fail at `fault_rate` (MTTF =
+  /// 1/fault_rate) and each failed link is repaired after an exponential
+  /// delay with rate `repair_rate` (MTTR = 1/repair_rate). 0 disables the
+  /// process entirely — results are then byte-identical to a build without
+  /// it. Requires a fault-capable design (direct or enhanced).
+  double fault_rate = 0.0;
+  double repair_rate = 1.0;
+  conf::RecoveryPolicy recovery;
 };
 
 struct TeletrafficResult {
@@ -53,6 +64,21 @@ struct TeletrafficResult {
   std::uint64_t joins = 0;
   std::uint64_t joins_blocked = 0;
   std::uint64_t leaves = 0;
+  /// Availability accounting (whole run; all zero when fault_rate == 0).
+  std::uint64_t link_failures = 0;
+  std::uint64_t link_repairs = 0;
+  std::uint64_t sessions_interrupted = 0;
+  std::uint64_t sessions_recovered = 0;
+  std::uint64_t sessions_dropped = 0;
+  std::uint64_t sessions_expired = 0;
+  std::uint64_t recovery_pending = 0;  // still in flight at the end
+  /// Dropped / interrupted (0 when nothing was interrupted).
+  double dropped_session_rate = 0.0;
+  /// Time-weighted post-warmup fraction of input/output pairs disconnected
+  /// by live faults (1 - min::connectivity, averaged over observed time).
+  double degraded_fraction = 0.0;
+  /// Interrupt-to-recovery delay of recovered sessions.
+  util::Summary recovery_latency;
 };
 
 /// Run one replication against the given design. The design must be fresh

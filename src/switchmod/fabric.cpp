@@ -5,6 +5,7 @@
 #include <atomic>
 #include <string>
 
+#include "min/faults.hpp"
 #include "util/audit.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -87,8 +88,21 @@ Fabric::Fabric(const min::Network& net, FabricConfig config)
 }
 
 EvalReport Fabric::evaluate(const std::vector<GroupRealization>& groups) const {
+  return evaluate(groups, nullptr);
+}
+
+EvalReport Fabric::evaluate(const std::vector<GroupRealization>& groups,
+                            const min::FaultSet* faults) const {
   const u32 N = net_.size();
   const u32 n = net_.n();
+  if (faults != nullptr)
+    expects(faults->n() == n, "fault set size mismatch");
+  // One branch up front keeps the healthy hot path free of per-link fault
+  // probes.
+  const bool degraded = faults != nullptr && faults->fault_count() != 0;
+  const auto dead = [&](u32 level, u32 row) {
+    return degraded && faults->is_faulty(level, row);
+  };
 
 #if defined(CONFNET_AUDIT)
   for (const auto& g : groups) audit::check_group_realization(net_, g);
@@ -145,6 +159,7 @@ EvalReport Fabric::evaluate(const std::vector<GroupRealization>& groups) const {
     // Injection: a level-0 link carries its member's own signal.
     for (std::size_t i = 0; i < g.links[0].size(); ++i) {
       const u32 row = g.links[0][i];
+      if (dead(0, row)) continue;
       if (std::binary_search(g.members.begin(), g.members.end(), row))
         sig[0][i] = MemberSet::single(row);
     }
@@ -153,6 +168,7 @@ EvalReport Fabric::evaluate(const std::vector<GroupRealization>& groups) const {
     for (u32 level = 1; level <= n; ++level) {
       for (std::size_t i = 0; i < g.links[level].size(); ++i) {
         const u32 row = g.links[level][i];
+        if (dead(level, row)) continue;  // carries nothing downstream
         const auto preds = net_.predecessors(level, row);
         u32 feeding = 0;
         for (u32 q : preds) {
@@ -177,6 +193,7 @@ EvalReport Fabric::evaluate(const std::vector<GroupRealization>& groups) const {
         const auto succs = net_.successors(level, row);
         u32 fed = 0;
         for (u32 q : succs) {
+          if (dead(level + 1, q)) continue;  // the switch cannot drive it
           if (index_of(g.links[level + 1], q) != static_cast<std::size_t>(-1))
             ++fed;
         }

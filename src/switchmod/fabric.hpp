@@ -27,6 +27,10 @@
 #include "min/network.hpp"
 #include "switchmod/signal.hpp"
 
+namespace confnet::min {
+class FaultSet;
+}
+
 namespace confnet::sw {
 
 /// One group (conference) mapped onto fabric links.
@@ -88,6 +92,15 @@ class Fabric {
   /// what *would* happen with enough channels; `ok()` reports feasibility.
   [[nodiscard]] EvalReport evaluate(
       const std::vector<GroupRealization>& groups) const;
+
+  /// Degraded-fabric evaluation: a faulty link carries no signal — it
+  /// neither injects, mixes, nor delivers, and a switch never duplicates
+  /// into it (so fan ops are counted on the surviving wiring only). Channel
+  /// load/overflow accounting is unchanged: assignments still reserve the
+  /// physical link. `faults == nullptr` (or an empty set) is the healthy
+  /// fabric.
+  [[nodiscard]] EvalReport evaluate(const std::vector<GroupRealization>& groups,
+                                    const min::FaultSet* faults) const;
 
   [[nodiscard]] const min::Network& network() const noexcept { return net_; }
   [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }

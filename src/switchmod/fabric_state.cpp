@@ -41,6 +41,7 @@ FabricState::FabricState(const min::Network& net, std::vector<u32> capacity,
       capacity_(std::move(capacity)),
       fan_in_(fan_in),
       fan_out_(fan_out),
+      faults_(net.n()),
       load_(net.n() + 1, std::vector<u32>(net.size(), 0)),
       owner_(net.size(), -1) {
   expects(capacity_.size() == static_cast<std::size_t>(net_.n()) + 1,
@@ -86,6 +87,7 @@ bool FabricState::try_add(GroupRealization group) {
   expects(!contains(group.id), "group id already admitted");
   for (u32 m : group.members)
     expects(owner_[m] < 0, "groups must be pairwise disjoint");
+  if (!links_clear(group.links)) return false;
   for (u32 level = 0; level < group.links.size(); ++level)
     for (u32 row : group.links[level])
       if (load_[level][row] + 1 > capacity_[level]) return false;
@@ -105,6 +107,11 @@ bool FabricState::try_replace(u32 id, GroupRealization group) {
   expects(group.id == id, "replacement must keep the group id");
   validate_new_group(group);
   const GroupRealization& old = it->second.group;
+
+  // The whole replacement realization must avoid the fault mask (not just
+  // the gained links): a successful try_ mutation never yields a degraded
+  // group. Shrink paths that must tolerate degradation use replace().
+  if (!links_clear(group.links)) return false;
 
   // Capacity check on the links gained by the swap, before any change.
   bool feasible = true;
@@ -152,6 +159,55 @@ void FabricState::remove(u32 id) {
   CONFNET_AUDIT_HOOK(maybe_periodic_audit());
 }
 
+std::vector<u32> FabricState::mark_link_users_dirty(u32 level, u32 row) {
+  std::vector<u32> touched;
+  const u32 users = load_[level][row];  // one channel per group per link
+  if (users == 0) return touched;
+  touched.reserve(users);
+  for (auto& [id, entry] : groups_) {
+    const auto& rows = entry.group.links[level];
+    if (std::binary_search(rows.begin(), rows.end(), row)) {
+      entry.dirty = true;
+      touched.push_back(id);
+      if (touched.size() == users) break;
+    }
+  }
+  return touched;
+}
+
+std::vector<u32> FabricState::fail_link(u32 level, u32 row) {
+  expects(level <= net_.n() && row < net_.size(), "fail_link out of range");
+  if (faults_.is_faulty(level, row)) return {};
+  faults_.fail_link(level, row);
+  auto touched = mark_link_users_dirty(level, row);
+  CONFNET_AUDIT_HOOK(maybe_periodic_audit());
+  return touched;
+}
+
+std::vector<u32> FabricState::repair_link(u32 level, u32 row) {
+  expects(level <= net_.n() && row < net_.size(), "repair_link out of range");
+  if (!faults_.is_faulty(level, row)) return {};
+  faults_.repair_link(level, row);
+  auto touched = mark_link_users_dirty(level, row);
+  CONFNET_AUDIT_HOOK(maybe_periodic_audit());
+  return touched;
+}
+
+bool FabricState::group_survives(u32 id) const {
+  const auto it = groups_.find(id);
+  expects(it != groups_.end(), "unknown group id");
+  return links_clear(it->second.group.links);
+}
+
+bool FabricState::links_clear(
+    const std::vector<std::vector<u32>>& links) const {
+  if (faults_.fault_count() == 0) return true;
+  for (u32 level = 0; level < links.size(); ++level)
+    for (u32 row : links[level])
+      if (faults_.is_faulty(level, row)) return false;
+  return true;
+}
+
 const GroupRealization& FabricState::group(u32 id) const {
   const auto it = groups_.find(id);
   expects(it != groups_.end(), "unknown group id");
@@ -191,6 +247,12 @@ u32 FabricState::level_peak_load(u32 level) const {
 void FabricState::propagate(const Entry& entry) const {
   const GroupRealization& g = entry.group;
   const u32 n = net_.n();
+  // Mirror of Fabric::evaluate's degraded semantics: a faulty link is
+  // signal-dead. One branch up front keeps the healthy path probe-free.
+  const bool degraded = faults_.fault_count() != 0;
+  const auto dead = [&](u32 level, u32 row) {
+    return degraded && faults_.is_faulty(level, row);
+  };
 
   std::vector<std::vector<MemberSet>> sig(n + 1);
   for (u32 level = 0; level <= n; ++level)
@@ -203,6 +265,7 @@ void FabricState::propagate(const Entry& entry) const {
   // Injection: a level-0 link carries its member's own signal.
   for (std::size_t i = 0; i < g.links[0].size(); ++i) {
     const u32 row = g.links[0][i];
+    if (dead(0, row)) continue;
     if (std::binary_search(g.members.begin(), g.members.end(), row))
       sig[0][i] = MemberSet::single(row);
   }
@@ -211,6 +274,7 @@ void FabricState::propagate(const Entry& entry) const {
   for (u32 level = 1; level <= n; ++level) {
     for (std::size_t i = 0; i < g.links[level].size(); ++i) {
       const u32 row = g.links[level][i];
+      if (dead(level, row)) continue;  // carries nothing downstream
       const auto preds = net_.predecessors(level, row);
       u32 feeding = 0;
       for (u32 q : preds) {
@@ -235,6 +299,7 @@ void FabricState::propagate(const Entry& entry) const {
       const auto succs = net_.successors(level, row);
       u32 fed = 0;
       for (u32 q : succs) {
+        if (dead(level + 1, q)) continue;  // the switch cannot drive it
         if (index_of(g.links[level + 1], q) != static_cast<std::size_t>(-1))
           ++fed;
       }
@@ -325,11 +390,17 @@ void FabricState::cross_check() const {
   audit::require(overflowing_ == expected_overflowing, kSub,
                  "overflow counter diverges from load recount");
 
+  // The fault counter must match its own bitsets before it is trusted as
+  // the degraded-evaluation fast-path gate.
+  audit::require(faults_.count_consistent(), kSub,
+                 "fault count diverges from the fault bitsets");
+
   // Full stateless evaluation with unconstrained channels: compares the
-  // capacity-independent quantities (delivered signals, fan ops).
+  // capacity-independent quantities (delivered signals, fan ops) on the
+  // same (possibly degraded) fabric.
   const Fabric oracle(
       net_, FabricConfig{std::numeric_limits<u32>::max(), fan_in_, fan_out_});
-  const EvalReport expected = oracle.evaluate(groups);
+  const EvalReport expected = oracle.evaluate(groups, &faults_);
   const EvalReport actual = report();
   audit::require(actual.delivered.size() == expected.delivered.size(), kSub,
                  "group count diverges from the stateless oracle");

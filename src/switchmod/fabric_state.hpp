@@ -13,6 +13,10 @@
 //     matrix is the sole cross-group coupling);
 //   * capacity is per level (a dilation profile), enforced by the try_
 //     mutations before any state changes.
+//   * a live fault mask (min::FaultSet) turns link failures and repairs
+//     into runtime events: fail_link/repair_link dirty only the groups on
+//     the touched link, admission refuses realizations over dead windows,
+//     and propagation treats faulty links as signal-dead.
 //
 // The stateless engine stays the oracle: `cross_check()` re-evaluates
 // everything through `Fabric::evaluate` and throws on any divergence, and
@@ -24,6 +28,7 @@
 #include <map>
 #include <vector>
 
+#include "min/faults.hpp"
 #include "min/network.hpp"
 #include "switchmod/fabric.hpp"
 
@@ -65,6 +70,38 @@ class FabricState {
   void replace(u32 id, GroupRealization group);
 
   void remove(u32 id);
+
+  // --- Runtime fault events ----------------------------------------------
+  // The fabric carries a live min::FaultSet. Failing a link invalidates
+  // only the signal caches of the groups whose realization uses it (found
+  // in O(groups on the link) thanks to the load matrix); load/ownership
+  // accounting is untouched — a dead link still holds its channel
+  // assignments until the control plane re-places the affected groups.
+  // try_add / try_replace refuse realizations that touch a faulty link, so
+  // a successful mutation never yields a degraded group.
+
+  /// Mark link (level,row) faulty. Returns the ids of admitted groups whose
+  /// realization uses the link, in ascending order. Idempotent: an already-
+  /// faulty link returns an empty list and changes nothing.
+  std::vector<u32> fail_link(u32 level, u32 row);
+
+  /// Repair link (level,row). Returns the ids of admitted groups whose
+  /// realization uses the link (their signal caches are refreshed lazily).
+  /// Idempotent like fail_link.
+  std::vector<u32> repair_link(u32 level, u32 row);
+
+  [[nodiscard]] bool link_faulty(u32 level, u32 row) const {
+    return faults_.is_faulty(level, row);
+  }
+  [[nodiscard]] const min::FaultSet& faults() const noexcept { return faults_; }
+
+  /// True iff every link of group `id`'s realization avoids the fault mask.
+  [[nodiscard]] bool group_survives(u32 id) const;
+
+  /// True iff every row of `links` (levels 0..n) avoids the fault mask.
+  /// Constant-time when the fabric is healthy — the admission fast path.
+  [[nodiscard]] bool links_clear(
+      const std::vector<std::vector<u32>>& links) const;
 
   // --- Queries -----------------------------------------------------------
 
@@ -130,11 +167,16 @@ class FabricState {
   void apply_load(const GroupRealization& group, bool add);
   void propagate(const Entry& entry) const;
   void maybe_periodic_audit();
+  /// Dirty every group whose realization uses link (level,row); returns
+  /// their ids in ascending order. O(groups on the link): the scan stops
+  /// once load_[level][row] users have been found.
+  std::vector<u32> mark_link_users_dirty(u32 level, u32 row);
 
   const min::Network& net_;
   std::vector<u32> capacity_;  // levels 0..n
   bool fan_in_;
   bool fan_out_;
+  min::FaultSet faults_;
   std::map<u32, Entry> groups_;
   std::vector<std::vector<u32>> load_;  // [level][row]
   std::vector<int> owner_;              // port -> group id, -1 when free

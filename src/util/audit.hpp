@@ -42,6 +42,7 @@ struct GroupRealization;
 namespace confnet::conf {
 class SessionManager;
 class WaitQueueManager;
+class RecoveryCoordinator;
 class PortPlacer;
 class BuddyAllocator;
 class DirectConferenceNetwork;
@@ -150,6 +151,10 @@ void check_session_manager(const conf::SessionManager& manager);
 /// Queue shape and counters cohere with the inner session manager (every
 /// service was an accepted open), then audits the session manager itself.
 void check_waitqueue(const conf::WaitQueueManager& manager);
+
+/// Recovery conservation: every interrupted session is recovered, dropped,
+/// expired or still pending, and the pending/ticket maps stay a bijection.
+void check_recovery(const conf::RecoveryCoordinator& recovery);
 
 /// Every active conference's stored links equal the recomputed ALL_PAIRS
 /// subnetwork, per-link load equals the sum over active conferences and

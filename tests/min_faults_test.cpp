@@ -39,6 +39,43 @@ TEST(FaultSet, RandomInjectionRate) {
   }
 }
 
+TEST(FaultSet, RepairReinjectRoundTripKeepsCountConsistent) {
+  // Pins the count_/bitset coherence contract: fail_link is guarded, so
+  // repeated inject/repair cycles — including re-injecting links that were
+  // faulty before — can never drift the cached count.
+  util::Rng rng(7);
+  FaultSet faults(6);
+  faults.inject_random(0.1, rng);
+  const u64 first = faults.fault_count();
+  EXPECT_GT(first, 0u);
+  EXPECT_TRUE(faults.count_consistent());
+
+  // Collect and repair every faulty link, one by one.
+  std::vector<std::pair<u32, u32>> failed;
+  for (u32 level = 0; level <= 6; ++level)
+    for (u32 row = 0; row < 64; ++row)
+      if (faults.is_faulty(level, row)) failed.emplace_back(level, row);
+  EXPECT_EQ(failed.size(), first);
+  for (const auto& [level, row] : failed) {
+    faults.repair_link(level, row);
+    faults.repair_link(level, row);  // idempotent
+    EXPECT_TRUE(faults.count_consistent());
+  }
+  EXPECT_EQ(faults.fault_count(), 0u);
+
+  // Re-inject the same links twice over: the guard must absorb duplicates.
+  for (const auto& [level, row] : failed) faults.fail_link(level, row);
+  for (const auto& [level, row] : failed) faults.fail_link(level, row);
+  EXPECT_EQ(faults.fault_count(), first);
+  EXPECT_TRUE(faults.count_consistent());
+
+  faults.clear();
+  EXPECT_EQ(faults.fault_count(), 0u);
+  EXPECT_TRUE(faults.count_consistent());
+  for (const auto& [level, row] : failed)
+    EXPECT_FALSE(faults.is_faulty(level, row));
+}
+
 TEST(Faults, HealthyNetworkFullyConnected) {
   for (Kind kind : kAllKinds) {
     const FaultSet faults(4);

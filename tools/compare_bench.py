@@ -19,11 +19,17 @@ Compares, in order:
      top-level "benchmarks" array (native --benchmark_out files and the
      tools/perf_smoke.py merge both qualify). Benchmarks are matched by
      name; a real_time growth beyond `--time-tolerance` (default 25%) is
-     flagged. Wall time is noisy on shared runners — pair this with
-     `--warn-only` in CI so timing drift is surfaced without gating.
+     flagged. Per-benchmark user counters (deterministic workload figures
+     such as event or recovery counts) compare within `--counter-tolerance`
+     (default 10%); counters added by the candidate are informational.
+
+Wall time is noisy on shared runners; the deterministic comparisons are
+not. `--time-warn-only` therefore keeps tables, metrics and benchmark
+counters gating while downgrading timing regressions to warnings — the CI
+perf-smoke policy (see EXPERIMENTS.md). `--warn-only` downgrades
+everything.
 
 Exit status: 0 = no regressions, 1 = regressions found, 2 = usage error.
-With --warn-only, regressions still print but the exit status stays 0.
 The human-readable diff goes to stdout either way.
 """
 
@@ -132,8 +138,28 @@ def benchmark_map(doc: dict) -> dict[str, dict]:
     return out
 
 
+# Google-benchmark entry members that are not user counters. The
+# *_per_second members are derived rates (SetItemsProcessed /
+# SetBytesProcessed divided by wall time), so they carry timing noise and
+# must not hard-gate like the deterministic counters do.
+BENCH_STANDARD_KEYS = frozenset({
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "family_index", "per_family_instance_index", "aggregate_name",
+    "aggregate_unit", "label", "big_o", "rms",
+    "items_per_second", "bytes_per_second",
+})
+
+
+def user_counters(entry: dict) -> dict[str, float]:
+    """User counters appear as extra numeric members of a benchmark entry."""
+    return {k: v for k, v in entry.items()
+            if k not in BENCH_STANDARD_KEYS and isinstance(v, (int, float))}
+
+
 def compare_timings(base: dict, cand: dict, time_tolerance: float,
-                    problems: list[str], infos: list[str]) -> None:
+                    counter_tolerance: float, problems: list[str],
+                    time_problems: list[str], infos: list[str]) -> None:
     bb, cb = benchmark_map(base), benchmark_map(cand)
     if not bb and not cb:
         return
@@ -143,17 +169,30 @@ def compare_timings(base: dict, cand: dict, time_tolerance: float,
         infos.append(f"benchmark added: '{name}'")
     for name in sorted(set(bb) & set(cb)):
         b, c = bb[name].get("real_time"), cb[name].get("real_time")
-        if b is None or c is None or b <= 0:
-            continue
-        unit = cb[name].get("time_unit", "ns")
-        ratio = c / b
-        line = (f"benchmark {name}: real_time {b:.4g} -> {c:.4g} {unit} "
-                f"({ratio:.2f}x)")
-        if ratio > 1.0 + time_tolerance:
-            problems.append(f"{line} (beyond {time_tolerance:.0%} "
-                            f"wall-time tolerance)")
-        else:
-            infos.append(line)
+        if b is not None and c is not None and b > 0:
+            unit = cb[name].get("time_unit", "ns")
+            ratio = c / b
+            line = (f"benchmark {name}: real_time {b:.4g} -> {c:.4g} {unit} "
+                    f"({ratio:.2f}x)")
+            if ratio > 1.0 + time_tolerance:
+                time_problems.append(f"{line} (beyond {time_tolerance:.0%} "
+                                     f"wall-time tolerance)")
+            else:
+                infos.append(line)
+        # Deterministic per-benchmark counters gate unconditionally: unlike
+        # wall time they do not wobble with runner load.
+        bcnt, ccnt = user_counters(bb[name]), user_counters(cb[name])
+        for key in sorted(set(bcnt) | set(ccnt)):
+            where = f"benchmark {name} counter {key}"
+            if key not in ccnt:
+                problems.append(f"{where} dropped (was {bcnt[key]:.6g})")
+            elif key not in bcnt:
+                infos.append(f"{where} added: {ccnt[key]:.6g}")
+            elif not close(float(bcnt[key]), float(ccnt[key]),
+                           counter_tolerance):
+                problems.append(
+                    f"{where}: {bcnt[key]:.6g} -> {ccnt[key]:.6g} "
+                    f"(beyond {counter_tolerance:.0%} tolerance)")
 
 
 def main() -> int:
@@ -167,8 +206,13 @@ def main() -> int:
                         help="allowed relative growth of failure counters")
     parser.add_argument("--time-tolerance", type=float, default=0.25,
                         help="allowed relative growth of benchmark real_time")
+    parser.add_argument("--counter-tolerance", type=float, default=0.10,
+                        help="relative tolerance for benchmark user counters")
     parser.add_argument("--warn-only", action="store_true",
                         help="print regressions but always exit 0")
+    parser.add_argument("--time-warn-only", action="store_true",
+                        help="timing regressions warn; tables, metrics and "
+                             "benchmark counters still gate")
     args = parser.parse_args()
 
     try:
@@ -183,16 +227,25 @@ def main() -> int:
               f"({base.get('experiment')} vs {cand.get('experiment')})")
 
     problems: list[str] = []
+    time_problems: list[str] = []
     infos: list[str] = []
     compare_tables(base, cand, args.tolerance, problems, infos)
     compare_metrics(base, cand, args.metric_tolerance, problems, infos)
-    compare_timings(base, cand, args.time_tolerance, problems, infos)
+    compare_timings(base, cand, args.time_tolerance, args.counter_tolerance,
+                    problems, time_problems, infos)
 
     header = (f"{base.get('experiment', '?')}: "
               f"{args.baseline.name} vs {args.candidate.name}")
     print(header)
     for line in infos:
         print(f"  info: {line}")
+    if args.time_warn_only and time_problems:
+        print(f"  {len(time_problems)} timing warning(s) "
+              f"(--time-warn-only: not gating):")
+        for line in time_problems:
+            print(f"  WARN: {line}")
+    else:
+        problems.extend(time_problems)
     if problems:
         print(f"  {len(problems)} REGRESSION(S):")
         for line in problems:
