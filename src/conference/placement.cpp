@@ -27,17 +27,21 @@ std::optional<u32> BuddyAllocator::allocate(u32 order) {
     std::sort(free_[have].begin(), free_[have].end());
   }
   free_ports_ -= u32{1} << order;
-  allocated_.emplace(base, order);
+  if constexpr (audit::kEnabled) allocated_.emplace(base, order);
   return base;
 }
 
 void BuddyAllocator::release(u32 base, u32 order) {
   expects(order <= n_, "release order beyond network size");
   expects((base & ((u32{1} << order) - 1)) == 0, "release base misaligned");
-  const auto live = allocated_.find({base, order});
-  expects(live != allocated_.end(),
-          "release of a block that is not currently allocated");
-  allocated_.erase(live);
+  if constexpr (audit::kEnabled) {
+    const auto live = allocated_.find({base, order});
+    expects(live != allocated_.end(),
+            "release of a block that is not currently allocated");
+    allocated_.erase(live);
+  }
+  expects(free_ports_ + (u32{1} << order) <= size(),
+          "release frees more ports than exist (double free)");
   free_ports_ += u32{1} << order;
   u32 cur = base;
   u32 ord = order;
@@ -93,15 +97,23 @@ std::optional<std::vector<u32>> PortPlacer::place(u32 size, util::Rng& rng) {
       break;
     }
     case PlacementPolicy::kRandom: {
+      // Without-replacement rank sampling: each draw picks the rank-th free
+      // port in ascending order among the ports still free. This is the
+      // draw-sequence contract of PlacerBase — the bitmap fast path answers
+      // the same draws with O(1) rank-select instead of this O(N) list.
       std::vector<u32> free_list;
       free_list.reserve(free_ports());
       for (u32 p = 0; p < taken_.size(); ++p)
         if (!taken_[p]) free_list.push_back(p);
-      if (free_list.size() < size) return std::nullopt;
-      rng.shuffle(std::span<u32>(free_list));
-      free_list.resize(size);
-      std::sort(free_list.begin(), free_list.end());
-      ports = std::move(free_list);
+      ports.reserve(size);
+      for (u32 i = 0; i < size; ++i) {
+        const auto idx =
+            static_cast<std::size_t>(rng.below(free_list.size()));
+        ports.push_back(free_list[idx]);
+        free_list.erase(free_list.begin() +
+                        static_cast<std::ptrdiff_t>(idx));
+      }
+      std::sort(ports.begin(), ports.end());
       break;
     }
   }
@@ -182,6 +194,13 @@ void PortPlacer::release(const std::vector<u32>& ports) {
   }
 }
 
+bool PortPlacer::placeable(u32 size) const noexcept {
+  if (size > free_ports()) return false;
+  if (policy_ != PlacementPolicy::kBuddy) return true;
+  const u32 order = util::log2_ceil(size);
+  return order <= n_ && buddy_.can_allocate(order);
+}
+
 std::map<u32, u32>::iterator PortPlacer::find_buddy_block(u32 port) {
   // Last block whose base is <= port, if the port falls inside it.
   auto it = buddy_blocks_.upper_bound(port);
@@ -205,16 +224,22 @@ void check_placer(const conf::PortPlacer& placer) {
           "occupancy counter disagrees with the taken bitmap");
   if (placer.policy_ != conf::PlacementPolicy::kBuddy) return;
 
+  // The placer's block table doubles as the allocated set: every
+  // allocation flows through place()/release(), so the two views are equal
+  // whenever the allocator's own tracking set is maintained (audit builds;
+  // release builds do not pay for it — see BuddyAllocator::release).
   const conf::BuddyAllocator& buddy = placer.buddy_;
-  check_buddy_state(buddy.free_,
-                    {buddy.allocated_.begin(), buddy.allocated_.end()},
-                    buddy.n_, buddy.free_ports_);
-  // Every conference block the placer tracks is live in the allocator, and
-  // every taken port lies inside one of those blocks.
+  const std::vector<std::pair<u32, u32>> live(placer.buddy_blocks_.begin(),
+                                              placer.buddy_blocks_.end());
+  check_buddy_state(buddy.free_, live, buddy.n_, buddy.free_ports_);
+  if constexpr (kEnabled) {
+    require(std::equal(buddy.allocated_.begin(), buddy.allocated_.end(),
+                       live.begin(), live.end()),
+            kSub, "allocator live-block set diverges from the placer's");
+  }
+  // Every taken port lies inside one of the live blocks.
   std::vector<bool> in_block(placer.taken_.size(), false);
   for (const auto& [base, order] : placer.buddy_blocks_) {
-    require(buddy.allocated_.count({base, order}) == 1, kSub,
-            "placer tracks a block the allocator does not consider live");
     for (u32 p = base; p < base + (u32{1} << order); ++p) in_block[p] = true;
   }
   for (std::size_t p = 0; p < placer.taken_.size(); ++p)

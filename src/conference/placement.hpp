@@ -4,9 +4,18 @@
 // presumes the system places conferences on aligned blocks (buddy
 // allocation). Arbitrary (first-fit / random) placement is the adversarial
 // alternative that exposes the full Theta(sqrt N) conflict multiplicity.
+//
+// Two interchangeable allocator backends sit behind `PlacerBase`:
+//  * `FastPortPlacer` (port_index.hpp) — the admission fast path, a
+//    hierarchical bitmap occupancy index;
+//  * `PortPlacer` (below) — the original linear-scan implementation, kept
+//    as the reference oracle. Randomized equivalence tests pin the two to
+//    exact port-set equality under identical RNG streams, which requires
+//    both to implement the same draw sequence per policy (see place()).
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <utility>
@@ -32,7 +41,9 @@ class BuddyAllocator {
   [[nodiscard]] std::optional<u32> allocate(u32 order);
 
   /// Release a block previously returned by allocate(order). Buddies are
-  /// coalesced eagerly.
+  /// coalesced eagerly. Full double-free/foreign-free detection runs in
+  /// CONFNET_AUDIT builds; release builds keep two cheap guards (free-port
+  /// counter overflow and same-order duplicate insertion).
   void release(u32 base, u32 order);
 
   /// Whether a block of the given order could be allocated right now.
@@ -46,6 +57,8 @@ class BuddyAllocator {
   // free_[order] = sorted bases of free blocks of that order.
   std::vector<std::vector<u32>> free_;
   // Live allocations (base,order), for double-free/foreign-free detection.
+  // Maintained only when audit::kEnabled — the per-session std::set
+  // insert/erase is pure checking overhead on the admission hot path.
   std::set<std::pair<u32, u32>> allocated_;
 };
 
@@ -65,38 +78,85 @@ enum class PlacementPolicy : std::uint8_t {
   return "?";
 }
 
+/// Which PlacerBase implementation a SessionManager runs on.
+enum class PlacerBackend : std::uint8_t {
+  kFast,       // hierarchical bitmap index (FastPortPlacer)
+  kReference,  // linear-scan oracle (PortPlacer)
+};
+
 /// Stateful port allocator implementing the three policies behind one
 /// interface. Allocations are identified by their returned port vectors.
-class PortPlacer {
+///
+/// The draw-sequence contract shared by every implementation (the fast and
+/// reference backends must consume identical RNG streams and return
+/// identical ports):
+///  * kBuddy / kFirstFit draw nothing;
+///  * kRandom selects without replacement by rank: `size` draws of
+///    rng.below(free_count), each picking the rank-th free port in
+///    ascending order among the ports still free;
+///  * a blocked place() consumes no draws (capacity is checked first).
+class PlacerBase {
  public:
-  PortPlacer(u32 n, PlacementPolicy policy);
+  virtual ~PlacerBase() = default;
 
-  [[nodiscard]] PlacementPolicy policy() const noexcept { return policy_; }
-  [[nodiscard]] u32 free_ports() const noexcept;
+  [[nodiscard]] virtual PlacementPolicy policy() const noexcept = 0;
+  [[nodiscard]] virtual u32 free_ports() const noexcept = 0;
 
   /// Whether `port` is currently assigned to some conference.
-  [[nodiscard]] bool occupied(u32 port) const noexcept {
-    return port < taken_.size() && taken_[port];
-  }
+  [[nodiscard]] virtual bool occupied(u32 port) const noexcept = 0;
 
   /// Choose `size` ports for a new conference; nullopt = placement blocked
   /// (no capacity or, for buddy, fragmentation).
-  [[nodiscard]] std::optional<std::vector<u32>> place(u32 size,
-                                                      util::Rng& rng);
+  [[nodiscard]] virtual std::optional<std::vector<u32>> place(
+      u32 size, util::Rng& rng) = 0;
 
   /// Choose one additional port for an existing conference (dynamic join).
   /// Under buddy placement the new member must fit inside the conference's
   /// block (no migration); nullopt = blocked.
-  [[nodiscard]] std::optional<u32> expand(const std::vector<u32>& current,
-                                          util::Rng& rng);
+  [[nodiscard]] virtual std::optional<u32> expand(
+      const std::vector<u32>& current, util::Rng& rng) = 0;
 
   /// Release a single member's port (dynamic leave). Buddy blocks stay
   /// allocated until the full placement is released.
-  void release_one(u32 port);
+  virtual void release_one(u32 port) = 0;
 
   /// Return ports taken by a previous place() call (plus any expansions of
   /// that conference, minus single releases).
-  void release(const std::vector<u32>& ports);
+  virtual void release(const std::vector<u32>& ports) = 0;
+
+  /// Feasibility watermark: false guarantees place(size) would return
+  /// nullopt right now (and consume no RNG); monotone in size. Lets hold
+  /// queues skip tickets that cannot possibly be admitted yet.
+  [[nodiscard]] virtual bool placeable(u32 size) const noexcept = 0;
+};
+
+/// Reference implementation: linear scans over a taken bitmap. O(N) per
+/// placement — the oracle the hierarchical-bitmap fast path is tested
+/// against, not the backend production configs run.
+class PortPlacer final : public PlacerBase {
+ public:
+  PortPlacer(u32 n, PlacementPolicy policy);
+
+  [[nodiscard]] PlacementPolicy policy() const noexcept override {
+    return policy_;
+  }
+  [[nodiscard]] u32 free_ports() const noexcept override;
+
+  [[nodiscard]] bool occupied(u32 port) const noexcept override {
+    return port < taken_.size() && taken_[port];
+  }
+
+  [[nodiscard]] std::optional<std::vector<u32>> place(
+      u32 size, util::Rng& rng) override;
+
+  [[nodiscard]] std::optional<u32> expand(const std::vector<u32>& current,
+                                          util::Rng& rng) override;
+
+  void release_one(u32 port) override;
+
+  void release(const std::vector<u32>& ports) override;
+
+  [[nodiscard]] bool placeable(u32 size) const noexcept override;
 
  private:
   friend void audit::check_placer(const ::confnet::conf::PortPlacer&);
@@ -112,5 +172,11 @@ class PortPlacer {
   // For buddy: block (base,order) keyed by base, to release correctly.
   std::map<u32, u32> buddy_blocks_;
 };
+
+/// Build the selected backend (defined in port_index.cpp, which sees both
+/// implementations).
+[[nodiscard]] std::unique_ptr<PlacerBase> make_placer(u32 n,
+                                                      PlacementPolicy policy,
+                                                      PlacerBackend backend);
 
 }  // namespace confnet::conf

@@ -1,0 +1,112 @@
+// Admission fast path: hierarchical-bitmap port allocation.
+//
+// `PortPlacer` (placement.hpp) answers every policy with O(N) scans over a
+// taken bitmap and keeps buddy blocks in sorted vectors plus a std::set —
+// fine as an oracle, quadratic for a control plane churning thousands of
+// sessions. The two classes here back the identical `PlacerBase` contract
+// with a util::HierBitset occupancy index instead:
+//  * first-fit  = find-first over the free bitmap,
+//  * random     = rank-select over the free count (same without-replacement
+//                 draw sequence as the reference, so both backends consume
+//                 identical RNG streams and return identical ports),
+//  * buddy      = per-order free-block bitmaps with O(1) coalesce tests
+//                 (`free_[ord].test(idx ^ 1)`) replacing the sorted-vector
+//                 lower_bound/erase bookkeeping.
+// Randomized equivalence tests (tests/placement_fastpath_test.cpp) pin this
+// backend to the reference on exact port sets under interleaved churn.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "conference/placement.hpp"
+#include "util/hier_bitset.hpp"
+
+namespace confnet::conf {
+
+/// Binary buddy allocator over 2^n ports with per-order free-block
+/// bitmaps: bit b of free_[order] set means the block [b<<order,
+/// (b+1)<<order) is free. Allocation picks the highest-base free block at
+/// the lowest sufficient order (matching BuddyAllocator's back()-of-sorted
+/// -vector choice), release coalesces eagerly with one bit test per level.
+class BitmapBuddyAllocator {
+ public:
+  explicit BitmapBuddyAllocator(u32 n);
+
+  [[nodiscard]] u32 n() const noexcept { return n_; }
+  [[nodiscard]] u32 size() const noexcept { return u32{1} << n_; }
+  [[nodiscard]] u32 free_ports() const noexcept { return free_ports_; }
+
+  /// Allocate an aligned block of 2^order ports; nullopt when fragmented
+  /// beyond repair or full. Returns the block base.
+  [[nodiscard]] std::optional<u32> allocate(u32 order);
+
+  /// Release a block previously returned by allocate(order). Same checking
+  /// split as BuddyAllocator::release: full double-free/foreign-free
+  /// tracking in CONFNET_AUDIT builds, cheap guards otherwise.
+  void release(u32 base, u32 order);
+
+  /// Whether a block of the given order could be allocated right now.
+  [[nodiscard]] bool can_allocate(u32 order) const;
+
+ private:
+  friend void audit::check_placer(const ::confnet::conf::FastPortPlacer&);
+
+  u32 n_;
+  u32 free_ports_;
+  std::vector<util::HierBitset> free_;  // [order] -> free-block bitmap
+  // Live allocations, maintained only when audit::kEnabled.
+  std::set<std::pair<u32, u32>> allocated_;
+};
+
+/// Hierarchical-bitmap implementation of PlacerBase. One free-port bitset
+/// (set bit = free) serves first-fit and random placement; buddy policy
+/// adds the per-order allocator above plus a flat base->order table that
+/// replaces PortPlacer's std::map block lookup.
+class FastPortPlacer final : public PlacerBase {
+ public:
+  FastPortPlacer(u32 n, PlacementPolicy policy);
+
+  [[nodiscard]] PlacementPolicy policy() const noexcept override {
+    return policy_;
+  }
+  [[nodiscard]] u32 free_ports() const noexcept override {
+    return static_cast<u32>(free_.count());
+  }
+
+  [[nodiscard]] bool occupied(u32 port) const noexcept override {
+    return port < free_.size() && !free_.test(port);
+  }
+
+  [[nodiscard]] std::optional<std::vector<u32>> place(
+      u32 size, util::Rng& rng) override;
+
+  [[nodiscard]] std::optional<u32> expand(const std::vector<u32>& current,
+                                          util::Rng& rng) override;
+
+  void release_one(u32 port) override;
+
+  void release(const std::vector<u32>& ports) override;
+
+  [[nodiscard]] bool placeable(u32 size) const noexcept override;
+
+ private:
+  friend void audit::check_placer(const ::confnet::conf::FastPortPlacer&);
+
+  /// Base and order of the live buddy block containing `port`. Blocks are
+  /// disjoint, so the first order whose aligned base is marked live is the
+  /// block — at most n_+1 probes of a flat array.
+  [[nodiscard]] std::pair<u32, u32> find_buddy_block(u32 port) const;
+
+  u32 n_;
+  PlacementPolicy policy_;
+  BitmapBuddyAllocator buddy_;
+  util::HierBitset free_;  // set bit = port free
+  // Buddy block table: order+1 at a live block's base, 0 elsewhere.
+  std::vector<std::uint8_t> block_order_;
+};
+
+}  // namespace confnet::conf

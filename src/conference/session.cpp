@@ -49,20 +49,25 @@ struct SessionMetrics {
 }  // namespace
 
 SessionManager::SessionManager(ConferenceNetworkBase& network,
-                               PlacementPolicy policy)
-    : network_(network), placer_(network.n(), policy) {}
+                               PlacementPolicy policy, PlacerBackend backend)
+    : network_(network), placer_(make_placer(network.n(), policy, backend)) {}
 
 std::pair<OpenResult, std::optional<u32>> SessionManager::open(
     u32 size, util::Rng& rng) {
+  return open_impl(size, rng, /*audit_each=*/true);
+}
+
+std::pair<OpenResult, std::optional<u32>> SessionManager::open_impl(
+    u32 size, util::Rng& rng, bool audit_each) {
   SessionMetrics& m = SessionMetrics::get();
   ++stats_.attempts;
   m.attempts.add();
-  auto ports = placer_.place(size, rng);
+  auto ports = placer_->place(size, rng);
   if (!ports) {
     ++stats_.blocked_placement;
     m.blocked_placement.add();
     obs::trace_emit("conf", "open_blocked_placement", size);
-    CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
+    if (audit_each) CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
     return {OpenResult::kBlockedPlacement, std::nullopt};
   }
   auto handle = network_.setup(*ports);
@@ -75,7 +80,7 @@ std::pair<OpenResult, std::optional<u32>> SessionManager::open(
     held.push_back(std::move(*ports));
     ports.reset();
     for (int attempt = 1; attempt < kFaultRepackAttempts; ++attempt) {
-      auto retry = placer_.place(size, rng);
+      auto retry = placer_->place(size, rng);
       if (!retry) break;
       handle = network_.setup(*retry);
       if (handle) {
@@ -84,21 +89,21 @@ std::pair<OpenResult, std::optional<u32>> SessionManager::open(
       }
       held.push_back(std::move(*retry));
     }
-    for (const auto& window : held) placer_.release(window);
+    for (const auto& window : held) placer_->release(window);
     if (!handle) {
       ++stats_.blocked_fault;
       m.blocked_fault.add();
       obs::trace_emit("conf", "open_blocked_fault", size);
-      CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
+      if (audit_each) CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
       return {OpenResult::kBlockedFault, std::nullopt};
     }
   }
   if (!handle) {
-    placer_.release(*ports);
+    placer_->release(*ports);
     ++stats_.blocked_capacity;
     m.blocked_capacity.add();
     obs::trace_emit("conf", "open_blocked_capacity", size);
-    CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
+    if (audit_each) CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
     return {OpenResult::kBlockedCapacity, std::nullopt};
   }
   ++stats_.accepted;
@@ -108,8 +113,27 @@ std::pair<OpenResult, std::optional<u32>> SessionManager::open(
   sessions_.emplace(id, Session{std::move(*ports), *handle});
   m.active.set(static_cast<double>(sessions_.size()));
   obs::trace_emit("conf", "open_accepted", size);
-  CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
+  if (audit_each) CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
   return {OpenResult::kAccepted, id};
+}
+
+std::vector<std::pair<OpenResult, std::optional<u32>>>
+SessionManager::open_batch(const std::vector<u32>& sizes, util::Rng& rng) {
+  // Canonical service order: descending size, ties in input order. The
+  // stable sort makes the order (and therefore every RNG draw and session
+  // id) a pure function of the request multiset, so batched and serial
+  // admission of the same canonical sequence are byte-identical.
+  std::vector<u32> order(sizes.size());
+  for (u32 i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&sizes](u32 a, u32 b) {
+    return sizes[a] > sizes[b];
+  });
+  std::vector<std::pair<OpenResult, std::optional<u32>>> results(
+      sizes.size(), {OpenResult::kBlockedPlacement, std::nullopt});
+  for (u32 idx : order)
+    results[idx] = open_impl(sizes[idx], rng, /*audit_each=*/false);
+  CONFNET_AUDIT_HOOK(audit::check_session_manager(*this));
+  return results;
 }
 
 void SessionManager::close(u32 session_id) {
@@ -117,7 +141,7 @@ void SessionManager::close(u32 session_id) {
   const auto it = sessions_.find(session_id);
   expects(it != sessions_.end(), "close of unknown session");
   network_.teardown(it->second.handle);
-  placer_.release(it->second.ports);
+  placer_->release(it->second.ports);
   sessions_.erase(it);
   ++stats_.closes;
   m.closes.add();
@@ -137,7 +161,7 @@ std::pair<OpenResult, std::optional<u32>> SessionManager::join(
   SessionMetrics& m = SessionMetrics::get();
   const auto it = sessions_.find(session_id);
   expects(it != sessions_.end(), "join on unknown session");
-  const auto port = placer_.expand(it->second.ports, rng);
+  const auto port = placer_->expand(it->second.ports, rng);
   if (!port) {
     ++stats_.joins_blocked;
     m.joins_blocked.add();
@@ -145,7 +169,7 @@ std::pair<OpenResult, std::optional<u32>> SessionManager::join(
     return {OpenResult::kBlockedPlacement, std::nullopt};
   }
   if (!network_.add_member(it->second.handle, *port)) {
-    placer_.release_one(*port);
+    placer_->release_one(*port);
     ++stats_.joins_blocked;
     m.joins_blocked.add();
     obs::trace_emit("conf", "join_blocked", session_id);
@@ -172,7 +196,7 @@ bool SessionManager::leave(u32 session_id, u32 port) {
   expects(pos != it->second.ports.end() && *pos == port,
           "session/network membership mismatch");
   it->second.ports.erase(pos);
-  placer_.release_one(port);
+  placer_->release_one(port);
   ++stats_.leaves;
   m.leaves.add();
   obs::trace_emit("conf", "leave", session_id);
@@ -244,13 +268,13 @@ void check_session_manager(const conf::SessionManager& manager) {
   check_disjoint_memberships(member_sets, N, kSub);
   check_session_stats(manager.stats_, manager.sessions_.size());
   // Cross-check against the placer: exactly the session ports are occupied.
-  require(manager.placer_.free_ports() == N - total_ports, kSub,
+  require(manager.placer_->free_ports() == N - total_ports, kSub,
           "placer occupancy disagrees with live session ports");
   for (const auto& members : member_sets)
     for (u32 port : members)
-      require(manager.placer_.occupied(port), kSub,
+      require(manager.placer_->occupied(port), kSub,
               "session port not marked occupied in the placer");
-  check_placer(manager.placer_);
+  check_placer(*manager.placer_);
 }
 
 }  // namespace confnet::audit

@@ -51,12 +51,35 @@ struct SessionStats {
 class SessionManager {
  public:
   /// Borrows the network design (caller keeps ownership and lifetime).
-  SessionManager(ConferenceNetworkBase& network, PlacementPolicy policy);
+  /// `backend` selects the port-placement implementation: the bitmap fast
+  /// path (default) or the reference PortPlacer oracle. Both honour the
+  /// same PlacerBase draw-sequence contract, so the choice never changes
+  /// session outcomes — only admission cost.
+  SessionManager(ConferenceNetworkBase& network, PlacementPolicy policy,
+                 PlacerBackend backend = PlacerBackend::kFast);
 
   /// Try to open a conference for `size` members. On success returns a
   /// session id.
   [[nodiscard]] std::pair<OpenResult, std::optional<u32>> open(
       u32 size, util::Rng& rng);
+
+  /// Batched admission: open every requested conference in one pass.
+  /// Requests are serviced in canonical order — descending size, ties in
+  /// input order — which fills large blocks before fragmentation sets in,
+  /// and per-mutation audit hooks are amortized into a single audit at the
+  /// end of the batch. Results are returned in INPUT order. Outcomes are
+  /// byte-identical to calling open() serially in the canonical order.
+  [[nodiscard]] std::vector<std::pair<OpenResult, std::optional<u32>>>
+  open_batch(const std::vector<u32>& sizes, util::Rng& rng);
+
+  /// Whether an open(size) could currently succeed at the placement stage
+  /// (ports available; under buddy policy, an aligned block exists). False
+  /// guarantees open() would return kBlockedPlacement without consuming
+  /// any RNG draws — wait queues use this as a free-capacity watermark to
+  /// skip doomed retries.
+  [[nodiscard]] bool placeable(u32 size) const noexcept {
+    return placer_->placeable(size);
+  }
 
   /// Close an open session, freeing ports and fabric resources.
   void close(u32 session_id);
@@ -101,12 +124,17 @@ class SessionManager {
  private:
   friend void audit::check_session_manager(const ::confnet::conf::SessionManager&);
 
+  /// open() body; `audit_each` gates the per-outcome audit hooks so
+  /// open_batch can run one audit per batch instead of one per request.
+  [[nodiscard]] std::pair<OpenResult, std::optional<u32>> open_impl(
+      u32 size, util::Rng& rng, bool audit_each);
+
   struct Session {
     std::vector<u32> ports;
     u32 handle;
   };
   ConferenceNetworkBase& network_;
-  PortPlacer placer_;
+  std::unique_ptr<PlacerBase> placer_;
   std::map<u32, Session> sessions_;
   u32 next_session_ = 0;
   SessionStats stats_;

@@ -37,8 +37,8 @@ struct WaitMetrics {
 WaitQueueManager::WaitQueueManager(ConferenceNetworkBase& network,
                                    PlacementPolicy policy,
                                    std::size_t queue_capacity,
-                                   bool allow_bypass)
-    : manager_(network, policy),
+                                   bool allow_bypass, PlacerBackend backend)
+    : manager_(network, policy, backend),
       capacity_(queue_capacity),
       allow_bypass_(allow_bypass) {}
 
@@ -74,6 +74,23 @@ WaitQueueManager::RequestResult WaitQueueManager::request(u32 size,
   return {RequestOutcome::kQueued, std::nullopt, ticket};
 }
 
+std::vector<WaitQueueManager::RequestResult> WaitQueueManager::request_batch(
+    const std::vector<u32>& sizes, util::Rng& rng) {
+  // Same canonical order as SessionManager::open_batch — descending size,
+  // ties in input order — so a burst admitted here and the equivalent
+  // serial request() sequence in canonical order are byte-identical.
+  std::vector<u32> order(sizes.size());
+  for (u32 i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&sizes](u32 a, u32 b) {
+    return sizes[a] > sizes[b];
+  });
+  std::vector<RequestResult> results(
+      sizes.size(),
+      RequestResult{RequestOutcome::kRejected, std::nullopt, std::nullopt});
+  for (u32 idx : order) results[idx] = request(sizes[idx], rng);
+  return results;
+}
+
 std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::close(
     u32 session_id, util::Rng& rng) {
   manager_.close(session_id);
@@ -84,25 +101,34 @@ std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::close(
 
 std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::process_queue(
     util::Rng& rng) {
+  // One forward pass, gated by the placer's free-capacity watermark:
+  // placeable(size) == false guarantees open() would fail at the placement
+  // stage without consuming RNG draws, so skipping it changes nothing but
+  // the wasted work. The old restart-from-the-front loop rescanned
+  // O(queue) tickets per admission; this pass visits each ticket once, and
+  // an admission's freed capacity is visible to the very next ticket
+  // because the watermark reads live placer state.
   std::vector<ServedTicket> served;
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      const auto [outcome, session] = manager_.open(it->size, rng);
-      if (outcome == OpenResult::kAccepted) {
-        served.push_back(ServedTicket{*it, *session});
-        ++stats_.served_after_wait;
-        WaitMetrics& m = WaitMetrics::get();
-        m.served_after_wait.add();
-        obs::trace_emit("wait", "served_after_wait", it->size);
-        queue_.erase(it);
-        m.queue_length.set(static_cast<double>(queue_.size()));
-        progress = true;
-        break;
-      }
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (!manager_.placeable(it->size)) {
       if (!allow_bypass_) break;  // strict FIFO: head-of-line blocks
+      ++it;
+      continue;
     }
+    const auto [outcome, session] = manager_.open(it->size, rng);
+    if (outcome == OpenResult::kAccepted) {
+      served.push_back(ServedTicket{*it, *session});
+      ++stats_.served_after_wait;
+      WaitMetrics& m = WaitMetrics::get();
+      m.served_after_wait.add();
+      obs::trace_emit("wait", "served_after_wait", it->size);
+      it = queue_.erase(it);
+      m.queue_length.set(static_cast<double>(queue_.size()));
+      continue;
+    }
+    // Placeable but blocked by fabric capacity or faults.
+    if (!allow_bypass_) break;
+    ++it;
   }
   return served;
 }

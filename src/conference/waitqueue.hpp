@@ -37,9 +37,11 @@ struct WaitStats {
 
 class WaitQueueManager {
  public:
-  /// `queue_capacity` = 0 disables queueing (pure loss system).
+  /// `queue_capacity` = 0 disables queueing (pure loss system). `backend`
+  /// is forwarded to the inner SessionManager's port placer.
   WaitQueueManager(ConferenceNetworkBase& network, PlacementPolicy policy,
-                   std::size_t queue_capacity, bool allow_bypass = false);
+                   std::size_t queue_capacity, bool allow_bypass = false,
+                   PlacerBackend backend = PlacerBackend::kFast);
 
   struct Ticket {
     u64 id;
@@ -54,6 +56,13 @@ class WaitQueueManager {
     std::optional<Ticket> ticket;
   };
   [[nodiscard]] RequestResult request(u32 size, util::Rng& rng);
+
+  /// Batched admission front end: service a burst of simultaneous requests
+  /// in the canonical order (descending size, ties in arrival order) that
+  /// SessionManager::open_batch uses, so a DES draining same-timestamp
+  /// arrivals does one pass over the burst. Results are in INPUT order.
+  [[nodiscard]] std::vector<RequestResult> request_batch(
+      const std::vector<u32>& sizes, util::Rng& rng);
 
   /// A served waiter, reported by close()/process_queue().
   struct ServedTicket {

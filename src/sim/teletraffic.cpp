@@ -48,7 +48,11 @@ TeletrafficResult run_teletraffic(conf::ConferenceNetworkBase& network,
   // stream (and its RNG consumption) is identical to a manager-only run.
   const bool faults_on = config.fault_rate > 0.0;
   conf::WaitQueueManager wait(network, config.policy,
-                              faults_on ? config.recovery.queue_capacity : 0);
+                              faults_on ? config.recovery.queue_capacity : 0,
+                              /*allow_bypass=*/false,
+                              config.placer_reference
+                                  ? conf::PlacerBackend::kReference
+                                  : conf::PlacerBackend::kFast);
   conf::SessionManager& manager = wait.sessions();
   std::optional<conf::RecoveryCoordinator> recovery;
   if (faults_on) {
@@ -184,62 +188,80 @@ TeletrafficResult run_teletraffic(conf::ConferenceNetworkBase& network,
       };
 
   // --- Arrival process -------------------------------------------------
+  // Follow-up wiring of one accepted open: occupancy, stage stats, talk
+  // spurts, churn chain and the holding-time departure. Shared between the
+  // classic one-request path and the batched burst path.
+  const auto on_accepted = [&](u32 size, u32 sid) {
+    busy_ports += size;
+    if (des.now() >= config.warmup)
+      stages.add(network.stages_for(manager.handle_of(sid)));
+
+    std::shared_ptr<SpurtState> st;
+    if (config.talk_spurts) {
+      st = std::make_shared<SpurtState>();
+      st->members = size;
+      st->last_change = des.now();
+      for (u32 m = 0; m < size; ++m) schedule_toggle(st, true);
+    }
+
+    std::shared_ptr<bool> alive;
+    if (config.membership_churn) {
+      alive = std::make_shared<bool>(true);
+      schedule_churn(sid, alive);
+    }
+
+    const double hold = config.traffic.holding_time(rng);
+    des.schedule_in(hold, [&, sid, st, alive] {
+      maybe_snapshot();
+      advance_area(des.now());
+      if (alive) *alive = false;
+      const u32 live = resolve(sid);
+      if (manager.contains(live)) {
+        const u32 final_size =
+            static_cast<u32>(manager.members_of(live).size());
+        // Route the close through the wait queue so a departure can admit
+        // a displaced session; with an empty queue this is exactly
+        // manager.close (no RNG consumed).
+        const auto served = wait.close(live, rng);
+        busy_ports -= final_size;
+        if (recovery) note_recovered(recovery->absorb(served, des.now()));
+      } else if (recovery) {
+        // Interrupted and still unrecovered (waiting or between retries):
+        // the caller's holding time ran out, so the recovery expires.
+        recovery->on_origin_departed(live, des.now());
+      }
+      if (st) {
+        st->alive = false;
+        const double now = des.now();
+        if (now >= config.warmup) {
+          st->weighted_speakers += st->talking * (now - st->last_change);
+          st->observed_time += now - st->last_change;
+        }
+        if (st->observed_time > 0.0)
+          speakers.add(st->weighted_speakers / st->observed_time);
+      }
+    });
+  };
+
   std::function<void()> arrival = [&] {
     maybe_snapshot();
     advance_area(des.now());
-    const u32 size = config.traffic.conference_size(rng);
-    const auto [outcome, session] = manager.open(size, rng);
-    if (outcome == conf::OpenResult::kAccepted) {
-      busy_ports += size;
-      const u32 sid = *session;
-      if (des.now() >= config.warmup)
-        stages.add(network.stages_for(manager.handle_of(sid)));
-
-      std::shared_ptr<SpurtState> st;
-      if (config.talk_spurts) {
-        st = std::make_shared<SpurtState>();
-        st->members = size;
-        st->last_change = des.now();
-        for (u32 m = 0; m < size; ++m) schedule_toggle(st, true);
-      }
-
-      std::shared_ptr<bool> alive;
-      if (config.membership_churn) {
-        alive = std::make_shared<bool>(true);
-        schedule_churn(sid, alive);
-      }
-
-      const double hold = config.traffic.holding_time(rng);
-      des.schedule_in(hold, [&, sid, st, alive] {
-        maybe_snapshot();
-        advance_area(des.now());
-        if (alive) *alive = false;
-        const u32 live = resolve(sid);
-        if (manager.contains(live)) {
-          const u32 final_size =
-              static_cast<u32>(manager.members_of(live).size());
-          // Route the close through the wait queue so a departure can admit
-          // a displaced session; with an empty queue this is exactly
-          // manager.close (no RNG consumed).
-          const auto served = wait.close(live, rng);
-          busy_ports -= final_size;
-          if (recovery) note_recovered(recovery->absorb(served, des.now()));
-        } else if (recovery) {
-          // Interrupted and still unrecovered (waiting or between retries):
-          // the caller's holding time ran out, so the recovery expires.
-          recovery->on_origin_departed(live, des.now());
-        }
-        if (st) {
-          st->alive = false;
-          const double now = des.now();
-          if (now >= config.warmup) {
-            st->weighted_speakers += st->talking * (now - st->last_change);
-            st->observed_time += now - st->last_change;
-          }
-          if (st->observed_time > 0.0)
-            speakers.add(st->weighted_speakers / st->observed_time);
-        }
-      });
+    if (config.arrival_burst <= 1) {
+      // Classic path: one request per event, byte-identical (RNG draws and
+      // all) to the pre-batching simulator.
+      const u32 size = config.traffic.conference_size(rng);
+      const auto [outcome, session] = manager.open(size, rng);
+      if (outcome == conf::OpenResult::kAccepted) on_accepted(size, *session);
+    } else {
+      // Bursty signalling: the whole same-timestamp burst goes through one
+      // open_batch pass (canonical descending-size order), then follow-up
+      // wiring runs in arrival order over the accepted subset.
+      std::vector<u32> sizes(config.arrival_burst);
+      for (u32& s : sizes) s = config.traffic.conference_size(rng);
+      const auto results = manager.open_batch(sizes, rng);
+      for (std::size_t i = 0; i < sizes.size(); ++i)
+        if (results[i].first == conf::OpenResult::kAccepted)
+          on_accepted(sizes[i], *results[i].second);
     }
     des.schedule_in(config.traffic.next_interarrival(rng), arrival);
   };

@@ -82,6 +82,31 @@ void FabricState::apply_load(const GroupRealization& group, bool add) {
   }
 }
 
+u32 FabricState::occupy_slot(u32 id) {
+  u32 slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<u32>(slots_.size());
+    slots_.emplace_back();
+    slot_gen_.push_back(0);
+  }
+  ++slot_gen_[slot];
+  if (id >= slot_of_.size()) slot_of_.resize(id + 1, kNoSlot);
+  slot_of_[id] = slot;
+  // Keep live_ids_ sorted; control-plane ids are monotone, so the common
+  // case is a cheap append.
+  if (live_ids_.empty() || live_ids_.back() < id) {
+    live_ids_.push_back(id);
+  } else {
+    live_ids_.insert(
+        std::lower_bound(live_ids_.begin(), live_ids_.end(), id), id);
+  }
+  slots_[slot].id = id;
+  return slot;
+}
+
 bool FabricState::try_add(GroupRealization group) {
   validate_new_group(group);
   expects(!contains(group.id), "group id already admitted");
@@ -94,7 +119,8 @@ bool FabricState::try_add(GroupRealization group) {
 
   for (u32 m : group.members) owner_[m] = static_cast<int>(group.id);
   apply_load(group, true);
-  Entry& entry = groups_[group.id];
+  const u32 id = group.id;
+  Entry& entry = slots_[occupy_slot(id)];
   entry.group = std::move(group);
   entry.dirty = true;
   CONFNET_AUDIT_HOOK(maybe_periodic_audit());
@@ -102,11 +128,10 @@ bool FabricState::try_add(GroupRealization group) {
 }
 
 bool FabricState::try_replace(u32 id, GroupRealization group) {
-  const auto it = groups_.find(id);
-  expects(it != groups_.end(), "replace of unknown group id");
+  expects(contains(id), "replace of unknown group id");
   expects(group.id == id, "replacement must keep the group id");
   validate_new_group(group);
-  const GroupRealization& old = it->second.group;
+  const GroupRealization& old = slots_[slot_of_[id]].group;
 
   // The whole replacement realization must avoid the fault mask (not just
   // the gained links): a successful try_ mutation never yields a degraded
@@ -125,11 +150,10 @@ bool FabricState::try_replace(u32 id, GroupRealization group) {
 }
 
 void FabricState::replace(u32 id, GroupRealization group) {
-  const auto it = groups_.find(id);
-  expects(it != groups_.end(), "replace of unknown group id");
+  expects(contains(id), "replace of unknown group id");
   expects(group.id == id, "replacement must keep the group id");
   validate_new_group(group);
-  Entry& entry = it->second;
+  Entry& entry = slots_[slot_of_[id]];
 
   for (u32 m : entry.group.members) owner_[m] = -1;
   for (u32 m : group.members) {
@@ -151,11 +175,16 @@ void FabricState::replace(u32 id, GroupRealization group) {
 }
 
 void FabricState::remove(u32 id) {
-  const auto it = groups_.find(id);
-  expects(it != groups_.end(), "remove of unknown group id");
-  apply_load(it->second.group, false);
-  for (u32 m : it->second.group.members) owner_[m] = -1;
-  groups_.erase(it);
+  expects(contains(id), "remove of unknown group id");
+  const u32 slot = slot_of_[id];
+  Entry& entry = slots_[slot];
+  apply_load(entry.group, false);
+  for (u32 m : entry.group.members) owner_[m] = -1;
+  slot_of_[id] = kNoSlot;
+  free_slots_.push_back(slot);
+  const auto it =
+      std::lower_bound(live_ids_.begin(), live_ids_.end(), id);
+  live_ids_.erase(it);
   CONFNET_AUDIT_HOOK(maybe_periodic_audit());
 }
 
@@ -164,7 +193,8 @@ std::vector<u32> FabricState::mark_link_users_dirty(u32 level, u32 row) {
   const u32 users = load_[level][row];  // one channel per group per link
   if (users == 0) return touched;
   touched.reserve(users);
-  for (auto& [id, entry] : groups_) {
+  for (u32 id : live_ids_) {
+    Entry& entry = slots_[slot_of_[id]];
     const auto& rows = entry.group.links[level];
     if (std::binary_search(rows.begin(), rows.end(), row)) {
       entry.dirty = true;
@@ -194,9 +224,7 @@ std::vector<u32> FabricState::repair_link(u32 level, u32 row) {
 }
 
 bool FabricState::group_survives(u32 id) const {
-  const auto it = groups_.find(id);
-  expects(it != groups_.end(), "unknown group id");
-  return links_clear(it->second.group.links);
+  return links_clear(entry_of(id).group.links);
 }
 
 bool FabricState::links_clear(
@@ -209,20 +237,18 @@ bool FabricState::links_clear(
 }
 
 const GroupRealization& FabricState::group(u32 id) const {
-  const auto it = groups_.find(id);
-  expects(it != groups_.end(), "unknown group id");
-  return it->second.group;
+  return entry_of(id).group;
 }
 
 const std::vector<MemberSet>& FabricState::delivered(u32 id) const {
-  const auto it = groups_.find(id);
-  expects(it != groups_.end(), "unknown group id");
-  if (it->second.dirty) propagate(it->second);
-  return it->second.delivered;
+  const Entry& entry = entry_of(id);
+  if (entry.dirty) propagate(entry);
+  return entry.delivered;
 }
 
 bool FabricState::delivery_ok() const {
-  for (const auto& [id, entry] : groups_) {
+  for (u32 id : live_ids_) {
+    const Entry& entry = slots_[slot_of_[id]];
     if (entry.dirty) propagate(entry);
     if (entry.capability_violations != 0) return false;
     for (std::size_t mi = 0; mi < entry.group.members.size(); ++mi)
@@ -348,8 +374,9 @@ EvalReport FabricState::report() const {
         report.overflows.push_back(Overflow{level, r, load_[level][r]});
     }
   }
-  report.delivered.reserve(groups_.size());
-  for (const auto& [id, entry] : groups_) {
+  report.delivered.reserve(live_ids_.size());
+  for (u32 id : live_ids_) {
+    const Entry& entry = slots_[slot_of_[id]];
     if (entry.dirty) propagate(entry);
     report.delivered.push_back(entry.delivered);
     report.fan_in_ops += entry.fan_in_ops;
@@ -369,8 +396,9 @@ void FabricState::cross_check() const {
   std::vector<int> expected_owner(N, -1);
   u32 expected_overflowing = 0;
   std::vector<GroupRealization> groups;
-  groups.reserve(groups_.size());
-  for (const auto& [id, entry] : groups_) {
+  groups.reserve(live_ids_.size());
+  for (u32 id : live_ids_) {
+    const Entry& entry = slots_[slot_of_[id]];
     groups.push_back(entry.group);
     for (u32 level = 0; level <= n; ++level)
       for (u32 row : entry.group.links[level]) ++expected_load[level][row];
@@ -380,6 +408,38 @@ void FabricState::cross_check() const {
       expected_owner[m] = static_cast<int>(id);
     }
   }
+
+  // Slot-table coherence: live_ids_ is sorted and duplicate-free, maps to
+  // distinct live slots that name their owner back, free slots are exactly
+  // the remainder, and no stale slot_of_ entry points anywhere.
+  audit::require(
+      std::is_sorted(live_ids_.begin(), live_ids_.end()) &&
+          std::adjacent_find(live_ids_.begin(), live_ids_.end()) ==
+              live_ids_.end(),
+      kSub, "live id list is not sorted and unique");
+  audit::require(live_ids_.size() + free_slots_.size() == slots_.size(), kSub,
+                 "live and free slots do not partition the slot vector");
+  std::vector<bool> slot_live(slots_.size(), false);
+  for (u32 id : live_ids_) {
+    audit::require(id < slot_of_.size() && slot_of_[id] != kNoSlot, kSub,
+                   "live id lost its slot mapping");
+    const u32 slot = slot_of_[id];
+    audit::require(slot < slots_.size() && !slot_live[slot], kSub,
+                   "two live ids share a slot");
+    slot_live[slot] = true;
+    audit::require(slots_[slot].id == id && slots_[slot].group.id == id, kSub,
+                   "slot entry does not name its owning id");
+    audit::require(slot_gen_.size() == slots_.size() && slot_gen_[slot] > 0,
+                   kSub, "live slot was never generation-stamped");
+  }
+  for (u32 slot : free_slots_)
+    audit::require(slot < slots_.size() && !slot_live[slot], kSub,
+                   "free slot list names a live slot");
+  std::size_t mapped = 0;
+  for (u32 slot : slot_of_)
+    if (slot != kNoSlot) ++mapped;
+  audit::require(mapped == live_ids_.size(), kSub,
+                 "stale id->slot mappings outlive their groups");
   for (u32 level = 0; level <= n; ++level)
     for (u32 row = 0; row < N; ++row)
       if (expected_load[level][row] > capacity_[level]) ++expected_overflowing;

@@ -13,6 +13,10 @@
 //     matrix is the sole cross-group coupling);
 //   * capacity is per level (a dilation profile), enforced by the try_
 //     mutations before any state changes.
+//   * group bookkeeping is flat: entries live in a dense slot vector with
+//     generation-stamped free-slot recycling, an id->slot table replaces
+//     the old std::map, and a sorted id vector drives ascending-order
+//     iteration — try_add/remove allocate no tree nodes on the hot path.
 //   * a live fault mask (min::FaultSet) turns link failures and repairs
 //     into runtime events: fail_link/repair_link dirty only the groups on
 //     the touched link, admission refuses realizations over dead windows,
@@ -25,12 +29,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "min/faults.hpp"
 #include "min/network.hpp"
 #include "switchmod/fabric.hpp"
+#include "util/error.hpp"
 
 namespace confnet::sw {
 class FabricState;
@@ -106,10 +110,10 @@ class FabricState {
   // --- Queries -----------------------------------------------------------
 
   [[nodiscard]] u32 group_count() const noexcept {
-    return static_cast<u32>(groups_.size());
+    return static_cast<u32>(live_ids_.size());
   }
   [[nodiscard]] bool contains(u32 id) const {
-    return groups_.find(id) != groups_.end();
+    return id < slot_of_.size() && slot_of_[id] != kNoSlot;
   }
   [[nodiscard]] const GroupRealization& group(u32 id) const;
 
@@ -137,7 +141,7 @@ class FabricState {
   /// Visit every admitted group in ascending id order.
   template <typename Fn>
   void for_each_group(Fn&& fn) const {
-    for (const auto& [id, entry] : groups_) fn(entry.group);
+    for (u32 id : live_ids_) fn(slots_[slot_of_[id]].group);
   }
 
   /// Assemble the same report `Fabric::evaluate` would produce for the
@@ -153,7 +157,11 @@ class FabricState {
  private:
   friend void audit::check_fabric_state(const FabricState& state);
 
+  /// slot_of_ sentinel: group id not admitted.
+  static constexpr u32 kNoSlot = 0xffffffffu;
+
   struct Entry {
+    u32 id = 0;  // owning group id while the slot is live
     GroupRealization group;
     // Lazy per-group evaluation results, valid when !dirty.
     mutable bool dirty = true;
@@ -172,12 +180,29 @@ class FabricState {
   /// once load_[level][row] users have been found.
   std::vector<u32> mark_link_users_dirty(u32 level, u32 row);
 
+  /// Take a slot for a new group: recycle the most recently freed one or
+  /// grow the vectors, bump its generation, and wire up slot_of_.
+  [[nodiscard]] u32 occupy_slot(u32 id);
+  [[nodiscard]] const Entry& entry_of(u32 id) const {
+    expects(contains(id), "unknown group id");
+    return slots_[slot_of_[id]];
+  }
+
   const min::Network& net_;
   std::vector<u32> capacity_;  // levels 0..n
   bool fan_in_;
   bool fan_out_;
   min::FaultSet faults_;
-  std::map<u32, Entry> groups_;
+  // Flat group tables (see header comment): dense recycled entry slots, an
+  // id->slot map, and the sorted live-id list for ordered iteration.
+  // slot_of_ grows with the largest id ever admitted (4 bytes per id) —
+  // ids come from monotone control-plane counters, so the table is a
+  // straight array rather than a hash.
+  std::vector<Entry> slots_;
+  std::vector<u32> free_slots_;  // recyclable slot indices (LIFO)
+  std::vector<u32> slot_of_;     // group id -> slot, kNoSlot when absent
+  std::vector<u32> live_ids_;    // admitted ids, ascending
+  std::vector<std::uint64_t> slot_gen_;  // occupation generation per slot
   std::vector<std::vector<u32>> load_;  // [level][row]
   std::vector<int> owner_;              // port -> group id, -1 when free
   u32 overflowing_ = 0;

@@ -43,8 +43,11 @@ namespace confnet::conf {
 class SessionManager;
 class WaitQueueManager;
 class RecoveryCoordinator;
+class PlacerBase;
 class PortPlacer;
+class FastPortPlacer;
 class BuddyAllocator;
+class BitmapBuddyAllocator;
 class DirectConferenceNetwork;
 class EnhancedCubeNetwork;
 struct SessionStats;
@@ -143,6 +146,14 @@ void check_fabric_state(const sw::FabricState& state);
 /// buddy policy the allocator's free/allocated blocks tile the port space
 /// with every taken port inside a live block.
 void check_placer(const conf::PortPlacer& placer);
+
+/// Fast-path placer: the hierarchical bitmap answers find/select queries
+/// consistently with a bit-by-bit enumeration, and under buddy policy the
+/// per-order free bitmaps plus the live block table tile the port space.
+void check_placer(const conf::FastPortPlacer& placer);
+
+/// Dispatch to the backend-specific audit above.
+void check_placer(const conf::PlacerBase& placer);
 
 /// Sessions hold sorted, pairwise-disjoint member sets of size >= 2 whose
 /// ports are all occupied in the placer; counters cohere.

@@ -2,7 +2,7 @@
 """Run the hot-path benchmark sections and merge them into one artifact.
 
 Usage:
-    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr3.json]
+    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr5.json]
         [--min-time SECONDS]
 
 Runs the BM_* timing sections of the benchmark binaries that cover the
@@ -13,7 +13,10 @@ optimized hot paths:
   * bench_e4_load_multiplicity — BM_MonteCarloTrial (parallel fan-out) vs
     BM_MonteCarloTrialSerialReference;
   * bench_e8_latency — BM_SteadyStateEventRate/0 (incremental FabricState
-    verification) vs /1 (stateless Fabric::evaluate rebuild).
+    verification) vs /1 (stateless Fabric::evaluate rebuild);
+  * bench_e14_admission — BM_AdmissionChurn (bitmap port index vs the
+    reference placer oracle, N=1024 high churn) and
+    BM_TeletrafficAdmission (end-to-end DES admission, serial vs batched).
 
 Each binary writes a native google-benchmark JSON file; the tool merges
 them into one document whose top-level "benchmarks" array carries
@@ -21,7 +24,7 @@ binary-prefixed names ("bench_e2_multiplicity/BM_MeasureMultiplicity/6"),
 ready for tools/compare_bench.py's timing section:
 
     python3 tools/perf_smoke.py --out BENCH_new.json
-    python3 tools/compare_bench.py BENCH_pr3.json BENCH_new.json --warn-only
+    python3 tools/compare_bench.py BENCH_pr5.json BENCH_new.json --warn-only
 
 Exit status: 0 = all binaries ran, 1 = a binary failed, 2 = usage error.
 """
@@ -41,6 +44,7 @@ TARGETS = (
     ("bench_e2_multiplicity", "BM_MeasureMultiplicity"),
     ("bench_e4_load_multiplicity", "BM_MonteCarloTrial"),
     ("bench_e8_latency", "BM_SteadyStateEventRate"),
+    ("bench_e14_admission", "BM_"),
 )
 
 SEARCH_DIRS = ("build/bench", "build/release/bench")
@@ -65,7 +69,9 @@ def run_one(binary: Path, bench_filter: str, min_time: float,
         "--benchmark_out_format=json",
     ]
     if min_time > 0:
-        cmd.append(f"--benchmark_min_time={min_time:g}s")
+        # Bare seconds, not the "0.2s" spelling: the pinned google-benchmark
+        # still parses the flag as a double.
+        cmd.append(f"--benchmark_min_time={min_time:g}")
     print(f"+ {' '.join(cmd)}", flush=True)
     subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
     return json.loads(out_path.read_text(encoding="utf-8"))
@@ -77,7 +83,7 @@ def main() -> int:
     parser.add_argument("--build-dir", type=Path, default=None,
                         help="build tree holding bench/ (default: search "
                              f"{', '.join(SEARCH_DIRS)})")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr3.json"))
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr5.json"))
     parser.add_argument("--min-time", type=float, default=0.0,
                         help="--benchmark_min_time per benchmark (seconds); "
                              "0 keeps the google-benchmark default")
