@@ -9,6 +9,7 @@
 #include "min/windows.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace confnet::conf {
@@ -19,6 +20,11 @@ void MultiplicityScratch::prepare(u32 ports) {
   if (counts.size() != ports) {
     counts.assign(ports, 0);
     stamp.assign(ports, 0);
+    // Worst case touches / distinct parts per level is `ports`; reserving
+    // here keeps every push_back in the kernel within capacity.
+    touched.reserve(ports);
+    src_parts.reserve(ports);
+    dst_parts.reserve(ports);
     generation = 0;
   }
   // Stamps older than any live generation read as "unseen"; reset before a
@@ -35,13 +41,14 @@ MultiplicityProfile measure_multiplicity(Kind kind, u32 n,
   return measure_multiplicity(kind, n, set, scratch);
 }
 
-MultiplicityProfile measure_multiplicity(Kind kind, u32 n,
-                                         const ConferenceSet& set,
-                                         MultiplicityScratch& scratch) {
+CONFNET_HOT MultiplicityProfile measure_multiplicity(
+    Kind kind, u32 n, const ConferenceSet& set,
+    MultiplicityScratch& scratch) {
   expects(set.num_ports() == (u32{1} << n), "conference set size mismatch");
   const u32 N = u32{1} << n;
   scratch.prepare(N);
   MultiplicityProfile profile;
+  // static_check: allow(hot-alloc) sizing the returned profile, once per call
   profile.per_level.assign(n + 1, 0);
   for (u32 level = 0; level <= n; ++level) {
     const min::RowParts parts = min::row_parts(kind, n, level);
@@ -59,6 +66,7 @@ MultiplicityProfile measure_multiplicity(Kind kind, u32 n,
         const u32 a = parts.src.apply(m);
         if (scratch.stamp[a] != gen) {
           scratch.stamp[a] = gen;
+          // static_check: allow(hot-alloc) within prepare()'s reservation
           scratch.src_parts.push_back(a);
         }
       }
@@ -67,6 +75,7 @@ MultiplicityProfile measure_multiplicity(Kind kind, u32 n,
         const u32 b = parts.dst.apply(m);
         if (scratch.stamp[b] != gen) {
           scratch.stamp[b] = gen;
+          // static_check: allow(hot-alloc) within prepare()'s reservation
           scratch.dst_parts.push_back(b);
         }
       }
@@ -74,6 +83,7 @@ MultiplicityProfile measure_multiplicity(Kind kind, u32 n,
         for (u32 b : scratch.dst_parts) {
           const u32 row = a | b;
           u32& count = scratch.counts[row];
+          // static_check: allow(hot-alloc) within prepare()'s reservation
           if (count == 0) scratch.touched.push_back(row);
           level_max = std::max(level_max, ++count);
         }

@@ -4,6 +4,7 @@
 
 #include "util/bits.hpp"
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace confnet::conf {
 
@@ -16,7 +17,7 @@ BitmapBuddyAllocator::BitmapBuddyAllocator(u32 n)
   free_[n].set(0);  // one block covering everything
 }
 
-std::optional<u32> BitmapBuddyAllocator::allocate(u32 order) {
+CONFNET_HOT std::optional<u32> BitmapBuddyAllocator::allocate(u32 order) {
   expects(order <= n_, "allocation order beyond network size");
   u32 have = order;
   while (have <= n_ && free_[have].count() == 0) ++have;
@@ -34,11 +35,12 @@ std::optional<u32> BitmapBuddyAllocator::allocate(u32 order) {
   }
   free_ports_ -= u32{1} << order;
   const u32 base = idx << order;
+  // static_check: allow(hot-alloc) live-block tracking, audit builds only
   if constexpr (audit::kEnabled) allocated_.emplace(base, order);
   return base;
 }
 
-void BitmapBuddyAllocator::release(u32 base, u32 order) {
+CONFNET_HOT void BitmapBuddyAllocator::release(u32 base, u32 order) {
   expects(order <= n_, "release order beyond network size");
   expects((base & ((u32{1} << order) - 1)) == 0, "release base misaligned");
   if constexpr (audit::kEnabled) {
@@ -123,8 +125,8 @@ std::optional<std::vector<u32>> FastPortPlacer::place(u32 size,
   return ports;
 }
 
-std::optional<u32> FastPortPlacer::expand(const std::vector<u32>& current,
-                                          util::Rng& rng) {
+CONFNET_HOT std::optional<u32> FastPortPlacer::expand(
+    const std::vector<u32>& current, util::Rng& rng) {
   expects(!current.empty(), "expand of empty placement");
   if (free_ports() == 0) return std::nullopt;
   std::optional<u32> port;
@@ -152,14 +154,14 @@ std::optional<u32> FastPortPlacer::expand(const std::vector<u32>& current,
   return port;
 }
 
-void FastPortPlacer::release_one(u32 port) {
+CONFNET_HOT void FastPortPlacer::release_one(u32 port) {
   expects(occupied(port), "release of unplaced port");
   free_.set(port);
   // Under buddy placement the block remains owned by the conference; it is
   // returned wholesale by release().
 }
 
-void FastPortPlacer::release(const std::vector<u32>& ports) {
+CONFNET_HOT void FastPortPlacer::release(const std::vector<u32>& ports) {
   expects(!ports.empty(), "release of empty placement");
   for (u32 p : ports) {
     expects(occupied(p), "release of unplaced port");
@@ -172,7 +174,7 @@ void FastPortPlacer::release(const std::vector<u32>& ports) {
   }
 }
 
-bool FastPortPlacer::placeable(u32 size) const noexcept {
+CONFNET_HOT bool FastPortPlacer::placeable(u32 size) const noexcept {
   if (size > free_ports()) return false;
   if (policy_ != PlacementPolicy::kBuddy) return true;
   const u32 order = util::log2_ceil(size);

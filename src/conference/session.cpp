@@ -221,6 +221,7 @@ std::vector<u32> SessionManager::sessions_using(
   return ids;
 }
 
+// static_check: allow(audit-hook) delegates to close(), which audits
 void SessionManager::interrupt(u32 session_id) {
   SessionMetrics& m = SessionMetrics::get();
   ++stats_.interrupted;

@@ -74,6 +74,7 @@ WaitQueueManager::RequestResult WaitQueueManager::request(u32 size,
   return {RequestOutcome::kQueued, std::nullopt, ticket};
 }
 
+// static_check: allow(audit-hook) delegates to request(), which audits
 std::vector<WaitQueueManager::RequestResult> WaitQueueManager::request_batch(
     const std::vector<u32>& sizes, util::Rng& rng) {
   // Same canonical order as SessionManager::open_batch — descending size,
@@ -99,6 +100,8 @@ std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::close(
   return served;
 }
 
+// static_check: allow(audit-hook) callers close()/drain() audit the
+// composite operation after the queue pass completes
 std::vector<WaitQueueManager::ServedTicket> WaitQueueManager::process_queue(
     util::Rng& rng) {
   // One forward pass, gated by the placer's free-capacity watermark:

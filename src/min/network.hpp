@@ -9,6 +9,7 @@
 
 #include <array>
 #include <memory>
+// static_check: allow(raw-mutex) std::once_flag one-time init; no lock held
 #include <mutex>
 #include <vector>
 

@@ -41,6 +41,8 @@ void Simulator::run_until(SimTime t_end) {
   const bool tracing = tracer.enabled();
   const SimTime t_start = now_;
   const std::uint64_t processed_before = processed_;
+  // static_check: allow(sim-determinism) wall clock only feeds the
+  // virtual_time_rate gauge; simulation logic never reads it
   const auto wall_start = std::chrono::steady_clock::now();
   if (tracing) {
     tracer.set_logical_time(now_);
@@ -75,6 +77,7 @@ void Simulator::run_until(SimTime t_end) {
   m.queue_depth.set(static_cast<double>(queue_.size()));
   m.virtual_time.set(now_);
   const double wall_seconds =
+      // static_check: allow(sim-determinism) reporting-only wall clock
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();

@@ -6,6 +6,7 @@
 
 #include "util/audit.hpp"
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace confnet::sw {
 
@@ -107,7 +108,7 @@ u32 FabricState::occupy_slot(u32 id) {
   return slot;
 }
 
-bool FabricState::try_add(GroupRealization group) {
+CONFNET_HOT bool FabricState::try_add(GroupRealization group) {
   validate_new_group(group);
   expects(!contains(group.id), "group id already admitted");
   for (u32 m : group.members)
@@ -127,7 +128,9 @@ bool FabricState::try_add(GroupRealization group) {
   return true;
 }
 
-bool FabricState::try_replace(u32 id, GroupRealization group) {
+// static_check: allow(audit-hook) delegates to replace(), which audits
+CONFNET_HOT bool FabricState::try_replace(u32 id,
+                                          GroupRealization group) {
   expects(contains(id), "replace of unknown group id");
   expects(group.id == id, "replacement must keep the group id");
   validate_new_group(group);
@@ -149,7 +152,7 @@ bool FabricState::try_replace(u32 id, GroupRealization group) {
   return true;
 }
 
-void FabricState::replace(u32 id, GroupRealization group) {
+CONFNET_HOT void FabricState::replace(u32 id, GroupRealization group) {
   expects(contains(id), "replace of unknown group id");
   expects(group.id == id, "replacement must keep the group id");
   validate_new_group(group);
@@ -174,13 +177,14 @@ void FabricState::replace(u32 id, GroupRealization group) {
   CONFNET_AUDIT_HOOK(maybe_periodic_audit());
 }
 
-void FabricState::remove(u32 id) {
+CONFNET_HOT void FabricState::remove(u32 id) {
   expects(contains(id), "remove of unknown group id");
   const u32 slot = slot_of_[id];
   Entry& entry = slots_[slot];
   apply_load(entry.group, false);
   for (u32 m : entry.group.members) owner_[m] = -1;
   slot_of_[id] = kNoSlot;
+  // static_check: allow(hot-alloc) slot free-list, bounded by peak groups
   free_slots_.push_back(slot);
   const auto it =
       std::lower_bound(live_ids_.begin(), live_ids_.end(), id);

@@ -16,6 +16,7 @@
 
 #include "util/bits.hpp"
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace confnet::util {
 
@@ -48,13 +49,13 @@ class HierBitset {
   [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
 
-  [[nodiscard]] bool test(std::size_t i) const {
+  CONFNET_HOT [[nodiscard]] bool test(std::size_t i) const {
     expects(i < nbits_, "HierBitset::test out of range");
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
 
   /// Set bit `i` (must currently be clear — churn callers never re-set).
-  void set(std::size_t i) {
+  CONFNET_HOT void set(std::size_t i) {
     expects(i < nbits_, "HierBitset::set out of range");
     u64& w = words_[i >> 6];
     expects(((w >> (i & 63)) & 1u) == 0, "HierBitset::set of a set bit");
@@ -66,7 +67,7 @@ class HierBitset {
   }
 
   /// Clear bit `i` (must currently be set).
-  void reset(std::size_t i) {
+  CONFNET_HOT void reset(std::size_t i) {
     expects(i < nbits_, "HierBitset::reset out of range");
     u64& w = words_[i >> 6];
     expects(((w >> (i & 63)) & 1u) != 0, "HierBitset::reset of a clear bit");
@@ -82,7 +83,7 @@ class HierBitset {
   }
 
   /// Index of the lowest set bit, or npos when empty.
-  [[nodiscard]] std::size_t find_first() const noexcept {
+  CONFNET_HOT [[nodiscard]] std::size_t find_first() const noexcept {
     if (count_ == 0) return npos;
     // top_scan returns a bit position at the top summary level (= a word
     // index one level below), so the descent visits sums_[size-2] .. sums_[0].
@@ -94,7 +95,7 @@ class HierBitset {
   }
 
   /// Index of the highest set bit, or npos when empty.
-  [[nodiscard]] std::size_t find_last() const noexcept {
+  CONFNET_HOT [[nodiscard]] std::size_t find_last() const noexcept {
     if (count_ == 0) return npos;
     std::size_t wi = top_scan_last();
     for (std::size_t k = sums_.size(); k-- > 1;)
@@ -105,7 +106,8 @@ class HierBitset {
   }
 
   /// Lowest set bit with index >= i, or npos when none.
-  [[nodiscard]] std::size_t find_first_at_least(std::size_t i) const noexcept {
+  CONFNET_HOT [[nodiscard]] std::size_t find_first_at_least(
+      std::size_t i) const noexcept {
     if (i >= nbits_) return npos;
     std::size_t wi = i >> 6;
     const u64 w = words_[wi] & (~u64{0} << (i & 63));
@@ -117,7 +119,7 @@ class HierBitset {
   }
 
   /// Index of the rank-th set bit in ascending order (rank < count()).
-  [[nodiscard]] std::size_t select(std::size_t rank) const {
+  CONFNET_HOT [[nodiscard]] std::size_t select(std::size_t rank) const {
     expects(rank < count_, "HierBitset::select rank out of range");
     // 4096-bit blocks first (block_cnt_ is a flat popcount array), then the
     // level-0 summary word picks nonzero leaf words inside the block.

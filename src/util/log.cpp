@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace confnet::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mu;
+// Serializes sink writes so concurrent log_line calls never interleave
+// characters. std::cerr itself is the guarded state; the annotation cannot
+// name a global it does not own, so the contract is the MutexLock below.
+Mutex g_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -32,7 +36,7 @@ LogLevel log_level() noexcept {
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::lock_guard lock(g_mu);
+  MutexLock lock(g_mu);
   std::cerr << "[confnet " << level_name(level) << "] " << message << '\n';
 }
 

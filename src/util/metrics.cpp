@@ -121,7 +121,7 @@ std::string Registry::make_key(std::string_view subsystem,
 Counter& Registry::counter(std::string_view subsystem, std::string_view name,
                            std::string_view label) {
   const std::string key = make_key(subsystem, name, label);
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   auto [it, inserted] = entries_.try_emplace(key);
   if (inserted) {
     it->second.type = Type::kCounter;
@@ -135,7 +135,7 @@ Counter& Registry::counter(std::string_view subsystem, std::string_view name,
 Gauge& Registry::gauge(std::string_view subsystem, std::string_view name,
                        std::string_view label) {
   const std::string key = make_key(subsystem, name, label);
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   auto [it, inserted] = entries_.try_emplace(key);
   if (inserted) {
     it->second.type = Type::kGauge;
@@ -151,7 +151,7 @@ Histogram& Registry::histogram(std::string_view subsystem,
                                std::vector<double> bounds,
                                std::string_view label) {
   const std::string key = make_key(subsystem, name, label);
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   auto [it, inserted] = entries_.try_emplace(key);
   if (inserted) {
     it->second.type = Type::kHistogram;
@@ -164,7 +164,7 @@ Histogram& Registry::histogram(std::string_view subsystem,
 
 Snapshot Registry::snapshot() const {
   Snapshot snap;
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const auto& [key, entry] : entries_) {
     switch (entry.type) {
       case Type::kCounter:
@@ -187,12 +187,12 @@ Snapshot Registry::snapshot() const {
 }
 
 std::size_t Registry::size() const {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   return entries_.size();
 }
 
 void Registry::reset_values() {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   for (auto& [key, entry] : entries_) {
     switch (entry.type) {
       case Type::kCounter: entry.counter->reset(); break;

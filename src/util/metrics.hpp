@@ -27,12 +27,13 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/table.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace confnet::obs {
 
@@ -189,8 +190,8 @@ class Registry {
                                             std::string_view name,
                                             std::string_view label);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Entry> entries_ CONFNET_GUARDED_BY(mu_);
 };
 
 /// Serialize an already-taken snapshot (same format as

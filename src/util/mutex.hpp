@@ -1,0 +1,90 @@
+// Annotated locking primitives (`confnet::util`).
+//
+// util::Mutex, util::MutexLock and util::CondVar are thin wrappers over
+// std::mutex / std::condition_variable that carry the Clang thread-safety
+// capability attributes from util/thread_annotations.hpp. They are the only
+// sanctioned locks in library code: tools/static_check.py (rule
+// `raw-mutex`) rejects raw std::mutex / std::lock_guard / std::scoped_lock
+// users anywhere else under src/, so every piece of shared state is guarded
+// by a mutex the analysis can reason about (CONFNET_GUARDED_BY names a
+// util::Mutex field, and -Wthread-safety proves each access holds it).
+//
+// Conventions:
+//   * guard fields with `CONFNET_GUARDED_BY(mu_)` and take `MutexLock
+//     lock(mu_);` — never call Mutex::lock()/unlock() manually in library
+//     code (RAII is what makes the early-return and exception paths sound);
+//   * condition waits are explicit predicate loops:
+//       MutexLock lock(mu_);
+//       while (!ready_) cv_.wait(mu_);
+//     (a lambda predicate would hide the guarded reads from the analysis);
+//   * notify after (or outside) the critical section; CondVar carries no
+//     capability of its own.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace confnet::util {
+
+/// Annotated exclusive lock. Same cost as the std::mutex it wraps.
+class CONFNET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CONFNET_ACQUIRE() { mu_.lock(); }
+  void unlock() CONFNET_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() CONFNET_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII guard: acquires in the constructor, releases in the destructor.
+/// The scoped-capability annotation lets the analysis track held locks
+/// across early returns and thrown exceptions.
+class CONFNET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CONFNET_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CONFNET_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex. wait() atomically releases the
+/// mutex and reacquires it before returning, like
+/// std::condition_variable::wait; the REQUIRES annotation makes callers
+/// prove they hold the mutex (normally via an enclosing MutexLock).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until notified (subject to spurious wakeups — always wait in a
+  /// predicate loop). The caller's MutexLock stays conceptually held: the
+  /// mutex is released only for the duration of the block.
+  void wait(Mutex& mu) CONFNET_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership returns to the caller's MutexLock
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace confnet::util

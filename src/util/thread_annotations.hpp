@@ -1,0 +1,103 @@
+// Concurrency-contract annotations (`confnet::util`).
+//
+// Two families of compile-time contracts live here:
+//
+//   * Clang thread-safety attributes (CONFNET_GUARDED_BY, CONFNET_REQUIRES,
+//     CONFNET_ACQUIRE/RELEASE, ...). Under Clang with -Wthread-safety
+//     (CMake option CONFNET_THREAD_SAFETY, ON in the asan-ubsan and tsan
+//     presets) the compiler proves that every access to an annotated field
+//     happens with its guarding util::Mutex held; on other compilers the
+//     macros expand to nothing. Locking discipline in this repo is checked,
+//     not conventional: raw std::mutex is banned outside util/ (see
+//     tools/static_check.py rule `raw-mutex`) — shared state is guarded by
+//     the annotated util::Mutex / util::MutexLock wrappers in
+//     util/mutex.hpp.
+//
+//   * CONFNET_HOT marks the allocation-free hot-path kernels (the
+//     multiplicity kernel, FabricState mutation deltas, the HierBitset
+//     placers). It expands to [[gnu::hot]] where supported, and —
+//     independently of the compiler — opts the function into the
+//     static checker's `hot-alloc` rule: no heap allocation or container
+//     growth inside a CONFNET_HOT body, except on lines carrying a
+//     `// static_check: allow(hot-alloc) <reason>` suppression.
+//
+// The attribute spellings follow the canonical mutex.h example in the
+// Clang thread-safety-analysis documentation.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define CONFNET_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CONFNET_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define CONFNET_CAPABILITY(x) CONFNET_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define CONFNET_SCOPED_CAPABILITY CONFNET_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is protected by the given capability; reads and writes require
+/// holding it.
+#define CONFNET_GUARDED_BY(x) CONFNET_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose pointee is protected by the given capability.
+#define CONFNET_PT_GUARDED_BY(x) CONFNET_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define CONFNET_REQUIRES(...) \
+  CONFNET_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define CONFNET_ACQUIRE(...) \
+  CONFNET_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (which must be held on entry).
+#define CONFNET_RELEASE(...) \
+  CONFNET_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; the boolean argument is the
+/// return value that indicates success.
+#define CONFNET_TRY_ACQUIRE(...) \
+  CONFNET_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention for
+/// functions that acquire them internally).
+#define CONFNET_EXCLUDES(...) \
+  CONFNET_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the given capability.
+#define CONFNET_RETURN_CAPABILITY(x) \
+  CONFNET_THREAD_ANNOTATION(lock_returned(x))
+
+/// Asserts (without acquiring) that the calling thread already holds the
+/// capability — a runtime-checked escape hatch.
+#define CONFNET_ASSERT_CAPABILITY(x) \
+  CONFNET_THREAD_ANNOTATION(assert_capability(x))
+
+/// Lock-ordering declarations.
+#define CONFNET_ACQUIRED_BEFORE(...) \
+  CONFNET_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CONFNET_ACQUIRED_AFTER(...) \
+  CONFNET_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Opts a function out of the analysis (the implementation of the wrappers
+/// themselves; never library code).
+#define CONFNET_NO_THREAD_SAFETY_ANALYSIS \
+  CONFNET_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// --- Hot-path contract -----------------------------------------------------
+
+/// Marks an allocation-free hot-path kernel. Enforced by
+/// tools/static_check.py (rule `hot-alloc`): the function body must not
+/// heap-allocate or grow containers, except on explicitly suppressed lines.
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(gnu::hot)
+#define CONFNET_HOT [[gnu::hot]]
+#endif
+#endif
+#ifndef CONFNET_HOT
+#define CONFNET_HOT
+#endif

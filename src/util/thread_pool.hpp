@@ -2,8 +2,13 @@
 // (independent DES replications, Monte-Carlo multiplicity trials).
 //
 // The pool follows the shared-memory fork/join idiom of the OpenMP examples
-// this project's guides reference, expressed with std::jthread and a plain
-// mutex/condvar task queue so the library has no extra dependencies.
+// this project's guides reference, expressed with a plain mutex/condvar
+// task queue so the library has no extra dependencies. All shared state is
+// guarded by the annotated util::Mutex wrappers (util/mutex.hpp): under
+// Clang's -Wthread-safety the compiler proves every queue_/stop_ access —
+// and every ChunkControl access in the fork/join paths — holds the right
+// lock, and the TSan concurrency stress suite exercises the same paths
+// dynamically (tests/concurrency_stress_test.cpp).
 //
 // Two fork/join entry points:
 //   * parallel_for(count, fn)        — fn(i) per index via std::function;
@@ -16,17 +21,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace confnet::util {
 
@@ -36,13 +42,13 @@ namespace detail {
 /// observe "all chunks claimed" and exit without touching the (by then
 /// dead) loop body on the caller's stack.
 struct ChunkControl {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t completed = 0;  // guarded by mu
-  std::size_t total = 0;
+  Mutex mu;
+  CondVar cv;
+  std::size_t completed CONFNET_GUARDED_BY(mu) = 0;
+  std::size_t total = 0;  // written once before any helper starts
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr first_error;  // guarded by mu
+  std::exception_ptr first_error CONFNET_GUARDED_BY(mu);
 };
 }  // namespace detail
 
@@ -112,7 +118,7 @@ class ThreadPool {
         }
         bool done = false;
         {
-          std::lock_guard lock(control->mu);
+          MutexLock lock(control->mu);
           if (error) {
             if (!control->first_error) control->first_error = error;
             control->failed.store(true, std::memory_order_relaxed);
@@ -129,9 +135,8 @@ class ThreadPool {
     for (std::size_t i = 0; i < helpers; ++i) enqueue(drain);
     drain();
 
-    std::unique_lock lock(control->mu);
-    control->cv.wait(lock,
-                     [&] { return control->completed == control->total; });
+    MutexLock lock(control->mu);
+    while (control->completed != control->total) control->cv.wait(control->mu);
     if (control->first_error) std::rethrow_exception(control->first_error);
   }
 
@@ -139,10 +144,10 @@ class ThreadPool {
   void worker_loop();
   void enqueue(std::function<void()> task);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ CONFNET_GUARDED_BY(mu_);
+  bool stop_ CONFNET_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -14,7 +14,7 @@ Tracer& Tracer::global() {
 
 void Tracer::enable(std::size_t capacity) {
   expects(capacity > 0, "tracer ring capacity must be positive");
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   ring_.clear();
   ring_.reserve(capacity);
   capacity_ = capacity;
@@ -30,7 +30,7 @@ void Tracer::disable() noexcept {
 }
 
 void Tracer::clear() {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
   next_seq_ = 0;
@@ -39,7 +39,7 @@ void Tracer::clear() {
 }
 
 void Tracer::set_run_key(std::uint64_t seed) {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   run_key_ = seed;
 }
 
@@ -47,7 +47,7 @@ void Tracer::record(const char* category, const char* name,
                     double value) noexcept {
   if (!enabled()) return;
   const double t = logical_time_.load(std::memory_order_relaxed);
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   if (capacity_ == 0) return;  // enable() not called yet
   TraceEvent ev{next_seq_++, t, category, name, value};
   if (ring_.size() < capacity_) {
@@ -60,17 +60,17 @@ void Tracer::record(const char* category, const char* name,
 }
 
 std::size_t Tracer::size() const {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   return ring_.size();
 }
 
 std::uint64_t Tracer::dropped() const {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   return dropped_;
 }
 
 void Tracer::dump_jsonl(std::ostream& os) const {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   {
     util::JsonWriter w(os);
     w.begin_object();

@@ -24,8 +24,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace confnet::obs {
 
@@ -75,13 +77,14 @@ class Tracer {
  private:
   std::atomic<bool> enabled_{false};
   std::atomic<double> logical_time_{0.0};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  std::size_t capacity_ = 0;
-  std::size_t head_ = 0;  // next slot to write once the ring wrapped
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t run_key_ = 0;
+  mutable util::Mutex mu_;
+  std::vector<TraceEvent> ring_ CONFNET_GUARDED_BY(mu_);
+  std::size_t capacity_ CONFNET_GUARDED_BY(mu_) = 0;
+  // next slot to write once the ring wrapped
+  std::size_t head_ CONFNET_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_seq_ CONFNET_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ CONFNET_GUARDED_BY(mu_) = 0;
+  std::uint64_t run_key_ CONFNET_GUARDED_BY(mu_) = 0;
 };
 
 /// The instrumentation entry point: a no-op (single relaxed load) when

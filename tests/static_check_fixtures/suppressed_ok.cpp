@@ -1,0 +1,20 @@
+// static-check-fixture: path=src/sim/fixture_suppressed.cpp expect=clean
+//
+// The suppression syntax, both placements: an allow() with a reason on the
+// line above a finding, and one trailing the finding's own line. Both
+// waive the rule, so this fixture must come back clean.
+
+#include <chrono>
+
+namespace confnet::sim {
+
+double wall_seconds_for_reporting() {
+  // static_check: allow(sim-determinism) reporting-only wall clock; the
+  // simulation never reads this value
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop =
+      std::chrono::steady_clock::now();  // static_check: allow(sim-determinism) reporting only
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace confnet::sim

@@ -1,0 +1,171 @@
+// Contract tests for the annotated locking primitives in util/mutex.hpp:
+// util::Mutex mutual exclusion and try_lock semantics, util::MutexLock
+// RAII (including the exception path), and util::CondVar wait/notify with
+// explicit predicate loops. These are the only locks library code may use
+// (tools/static_check.py rule `raw-mutex`), so their behavior is pinned
+// here before anything else depends on it.
+#include "util/mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+using confnet::util::CondVar;
+using confnet::util::Mutex;
+using confnet::util::MutexLock;
+
+TEST(Mutex, MutualExclusionUnderContention) {
+  Mutex mu;
+  std::size_t counter = 0;  // deliberately non-atomic: the lock is the test
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIncrements = 5000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kIncrements; ++i) {
+        const MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(Mutex, TryLockFailsWhileHeldAndSucceedsAfterRelease) {
+  Mutex mu;
+  {
+    const MutexLock lock(mu);
+    // A second thread cannot take the lock while we hold it. try_lock on
+    // the owning thread is UB for std::mutex, so probe from outside.
+    bool acquired = true;
+    std::thread probe([&] { acquired = mu.try_lock(); });
+    probe.join();
+    EXPECT_FALSE(acquired);
+  }
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Mutex, MutexLockReleasesOnException) {
+  Mutex mu;
+  try {
+    const MutexLock lock(mu);
+    throw std::runtime_error("unwinding releases the lock");
+  } catch (const std::runtime_error&) {
+  }
+  // If the RAII release did not run, this try_lock would fail.
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(CondVar, ProducerConsumerHandshake) {
+  Mutex mu;
+  CondVar cv;
+  std::deque<int> queue;  // guarded by mu
+  bool done = false;      // guarded by mu
+  constexpr int kItems = 2000;
+
+  std::int64_t consumed_sum = 0;
+  std::thread consumer([&] {
+    while (true) {
+      int item = -1;
+      {
+        MutexLock lock(mu);
+        // Explicit predicate loop — the convention mutex.hpp documents.
+        while (queue.empty() && !done) cv.wait(mu);
+        if (queue.empty()) return;
+        item = queue.front();
+        queue.pop_front();
+      }
+      consumed_sum += item;
+    }
+  });
+
+  for (int i = 1; i <= kItems; ++i) {
+    {
+      const MutexLock lock(mu);
+      queue.push_back(i);
+    }
+    cv.notify_one();
+  }
+  {
+    const MutexLock lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  consumer.join();
+  EXPECT_EQ(consumed_sum, std::int64_t{kItems} * (kItems + 1) / 2);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CondVar, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool open = false;  // guarded by mu
+  std::atomic<int> through{0};
+  constexpr int kWaiters = 6;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!open) cv.wait(mu);
+      through.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Let the waiters park; the predicate loop makes the sleep a
+  // best-effort rendezvous, not a correctness requirement.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  {
+    const MutexLock lock(mu);
+    open = true;
+  }
+  cv.notify_all();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(through.load(), kWaiters);
+}
+
+TEST(CondVar, SpuriousWakeupToleratedByPredicateLoop) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // guarded by mu
+  std::atomic<bool> finished{false};
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    finished.store(true, std::memory_order_relaxed);
+  });
+
+  // Notifications without the predicate flipping must keep the waiter
+  // parked: the loop re-checks and goes back to sleep.
+  for (int i = 0; i < 3; ++i) {
+    cv.notify_all();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_FALSE(finished.load());
+  }
+  {
+    const MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(finished.load());
+}
+
+}  // namespace

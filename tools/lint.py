@@ -20,12 +20,17 @@ sanitizer jobs. Enforced conventions:
      documentation gate: a header nobody can describe in a sentence is a
      header nobody can review.
 
+After its own rules, this gate also runs tools/static_check.py (the
+concurrency-contract checker); its rule registry is discovered via
+`static_check.py --list` so the two tools never drift apart.
+
 Exit status 0 when clean; 1 with one "file:line: message" per finding.
 """
 
 from __future__ import annotations
 
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -51,9 +56,16 @@ PARENT_INCLUDE_RE = re.compile(r'#include\s+"\.\./')
 LOCAL_INCLUDE_RE = re.compile(r'#include\s+"([^"]+)"')
 
 
+# Deliberately rule-breaking inputs for static_check.py's self-test; never
+# compiled, never style-checked.
+FIXTURE_DIR = REPO / "tests" / "static_check_fixtures"
+
+
 def iter_sources(root: Path):
     for ext in ("*.hpp", "*.cpp"):
-        yield from sorted(root.rglob(ext))
+        for path in sorted(root.rglob(ext)):
+            if not path.is_relative_to(FIXTURE_DIR):
+                yield path
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -137,6 +149,28 @@ def check_file(path: Path, problems: list[str]) -> None:
             )
 
 
+def run_static_check() -> int:
+    """Run the concurrency-contract checker as part of the lint gate.
+
+    Rule discovery is delegated to `static_check.py --list`, so lint.py
+    reports exactly the rules the checker actually enforces.
+    """
+    script = REPO / "tools" / "static_check.py"
+    listing = subprocess.run(
+        [sys.executable, str(script), "--list"],
+        capture_output=True, text=True, check=False,
+    )
+    if listing.returncode != 0:
+        print("lint.py: static_check.py --list failed", file=sys.stderr)
+        print(listing.stderr, file=sys.stderr)
+        return 1
+    rules = [ln.split("\t", 1)[0] for ln in listing.stdout.splitlines() if ln]
+    print(f"lint.py: running static_check.py ({', '.join(rules)})")
+    return subprocess.run(
+        [sys.executable, str(script)], check=False
+    ).returncode
+
+
 def main() -> int:
     problems: list[str] = []
     for root in CODE_ROOTS:
@@ -148,9 +182,10 @@ def main() -> int:
         print(f"lint.py: {len(problems)} problem(s)", file=sys.stderr)
         for p in problems:
             print(p, file=sys.stderr)
-        return 1
-    print("lint.py: clean")
-    return 0
+    else:
+        print("lint.py: clean")
+    status = run_static_check()
+    return 1 if problems or status != 0 else 0
 
 
 if __name__ == "__main__":
