@@ -137,8 +137,33 @@ inline void show(const util::Table& table) {
   std::cout << '\n';
 }
 
-/// Consume the harness-specific flags (--json=<path>, --trace=<path>) from
-/// argv before google-benchmark sees them. Returns the values by reference.
+/// Value of the optional --workers flag (e.g. "1,2,4"), consumed before
+/// google-benchmark parses argv. Empty when not given; benches that scale
+/// across worker threads (bench_e15_runtime) read it during emit_tables to
+/// register one timing row per requested worker count.
+inline std::string& workers_flag() {
+  static std::string v;
+  return v;
+}
+
+/// Parse `workers_flag()` as a comma-separated list, falling back to
+/// `defaults` when the flag was absent or empty.
+inline std::vector<unsigned> parse_workers(std::vector<unsigned> defaults) {
+  const std::string& flag = workers_flag();
+  if (flag.empty()) return defaults;
+  std::vector<unsigned> out;
+  std::string token;
+  std::istringstream in(flag);
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    out.push_back(static_cast<unsigned>(std::stoul(token)));
+  }
+  return out.empty() ? defaults : out;
+}
+
+/// Consume the harness-specific flags (--json=<path>, --trace=<path>,
+/// --workers=<list>) from argv before google-benchmark sees them. Returns
+/// the path values by reference; the workers list lands in workers_flag().
 inline void strip_harness_flags(int& argc, char** argv, std::string& json_path,
                                 std::string& trace_path) {
   int out = 1;
@@ -148,6 +173,10 @@ inline void strip_harness_flags(int& argc, char** argv, std::string& json_path,
       json_path = arg.substr(std::strlen("--json="));
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(std::strlen("--trace="));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers_flag() = arg.substr(std::strlen("--workers="));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers_flag() = argv[++i];
     } else {
       argv[out++] = argv[i];
     }

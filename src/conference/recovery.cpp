@@ -131,7 +131,8 @@ RecoveryCoordinator::RepairImpact RecoveryCoordinator::repair_link(
   ++stats_.link_repairs;
   m.link_repairs.add();
   obs::trace_emit("fault", "link_repaired", row);
-  impact.recovered = absorb(wait_.drain(rng), now);
+  impact.served = wait_.drain(rng);
+  impact.recovered = absorb(impact.served, now);
   CONFNET_AUDIT_HOOK(audit::check_recovery(*this));
   return impact;
 }

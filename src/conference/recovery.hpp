@@ -96,6 +96,10 @@ class RecoveryCoordinator {
 
   /// What one repair_link event did.
   struct RepairImpact {
+    /// Every waiter the post-repair drain served, recovery or not — callers
+    /// that track regular queued tickets (e.g. the concurrent runtime) need
+    /// the full list, not just the recovery subset.
+    std::vector<WaitQueueManager::ServedTicket> served;
     std::vector<Recovered> recovered;  // waiters served by the freed links
   };
   /// Repair link (level,row) at time `now` and drain the wait queue.

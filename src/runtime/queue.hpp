@@ -1,0 +1,126 @@
+// Bounded multi-producer/single-consumer command queue.
+//
+// The only hand-off point between producer threads and a shard's owner
+// thread. Thread-safe: every field is guarded by the internal util::Mutex
+// (annotated, so Clang -Wthread-safety proves the locking); producers block
+// (push_wait) or bounce (try_push) when the bound is hit — that is the
+// runtime's backpressure — and the consumer drains in bursts (pop_batch)
+// so the per-command lock cost amortizes to ~1/burst.
+//
+// Shutdown protocol: close() flips the queue into draining mode — further
+// pushes fail with kClosed (the caller is told; nothing is dropped
+// silently) while pop_batch keeps handing out what was already accepted,
+// so in-flight commands complete. `pushed()` is the producers-side
+// watermark drain logic compares against the consumer's completion count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace confnet::runtime {
+
+/// Push verdict; kFull and kClosed both return ownership to the caller.
+enum class QueuePush : std::uint8_t { kOk, kFull, kClosed };
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t capacity) : capacity_(capacity) {
+    expects(capacity > 0, "BoundedMpscQueue capacity must be > 0");
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Enqueue without blocking. kFull = backpressure (bound reached),
+  /// kClosed = the queue no longer accepts work; in both cases `item`
+  /// is untouched and still owned by the caller.
+  [[nodiscard]] QueuePush try_push(T&& item) {
+    {
+      util::MutexLock lock(mu_);
+      if (closed_) return QueuePush::kClosed;
+      if (items_.size() >= capacity_) return QueuePush::kFull;
+      items_.push_back(std::move(item));
+      ++pushed_;
+    }
+    return QueuePush::kOk;
+  }
+
+  /// Enqueue, blocking while the queue is at capacity. Returns kOk, or
+  /// kClosed when the queue closed before space opened up.
+  [[nodiscard]] QueuePush push_wait(T&& item) {
+    {
+      util::MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) space_cv_.wait(mu_);
+      if (closed_) return QueuePush::kClosed;
+      items_.push_back(std::move(item));
+      ++pushed_;
+    }
+    return QueuePush::kOk;
+  }
+
+  /// Consumer side: move up to `max` items into `out` (appended; `out` is
+  /// not cleared). Returns the number taken. Never blocks — the worker's
+  /// parking/wakeup protocol lives with the worker, not the queue.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t taken = 0;
+    bool freed_space = false;
+    {
+      util::MutexLock lock(mu_);
+      const std::size_t was_full = items_.size() >= capacity_ ? 1u : 0u;
+      while (taken < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++taken;
+      }
+      freed_space = was_full != 0 && taken > 0;
+    }
+    if (freed_space) space_cv_.notify_all();
+    return taken;
+  }
+
+  /// Stop accepting pushes; queued items keep draining through pop_batch.
+  /// Blocked push_wait callers wake up and observe kClosed.
+  void close() {
+    {
+      util::MutexLock lock(mu_);
+      closed_ = true;
+    }
+    space_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    util::MutexLock lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    util::MutexLock lock(mu_);
+    return items_.size();
+  }
+
+  /// Total items ever accepted (the drain watermark).
+  [[nodiscard]] std::uint64_t pushed() const {
+    util::MutexLock lock(mu_);
+    return pushed_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;  // runtime-owner: immutable
+  mutable util::Mutex mu_;      // runtime-owner: lock
+  util::CondVar space_cv_;      // runtime-owner: lock
+  std::deque<T> items_ CONFNET_GUARDED_BY(mu_);
+  bool closed_ CONFNET_GUARDED_BY(mu_) = false;
+  std::uint64_t pushed_ CONFNET_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace confnet::runtime

@@ -1,0 +1,151 @@
+#include "runtime/runtime.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace confnet::runtime {
+
+Runtime::Runtime(const RuntimeConfig& config)
+    : workers_n_(config.workers),
+      ports_(u32{1} << config.shard.stages) {
+  expects(config.shards > 0, "Runtime needs at least one shard");
+  expects(config.workers > 0, "Runtime needs at least one worker");
+  expects(config.workers <= config.shards,
+                "more workers than shards would leave idle owners");
+  shards_.reserve(config.shards);
+  for (u32 i = 0; i < config.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>(i, config.shard));
+  workers_.reserve(config.workers);
+  for (u32 w = 0; w < config.workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+    for (u32 s = w; s < config.shards; s += config.workers)
+      workers_.back()->shard_ids.push_back(s);
+  }
+}
+
+Runtime::~Runtime() { stop(); }
+
+void Runtime::start() {
+  expects(!started_, "Runtime::start called twice");
+  started_ = true;
+  for (u32 w = 0; w < workers_n_; ++w)
+    workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
+}
+
+void Runtime::stop() {
+  if (stopped_ || !started_) {
+    // Never started: just refuse future submits.
+    for (auto& s : shards_) s->close_queue();
+    stopped_ = true;
+    return;
+  }
+  stopped_ = true;
+  // (1) No new commands — submits from here on are answered inline.
+  for (auto& s : shards_) s->close_queue();
+  // (2) Tell each worker to finish and wake it.
+  for (auto& w : workers_) {
+    {
+      util::MutexLock lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_one();
+  }
+  // (3)+(4) Workers drain, flush retries, publish, exit; we join.
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+void Runtime::drain() {
+  for (auto& s : shards_) {
+    const u64 watermark = s->submitted();
+    s->wait_published(watermark);
+  }
+}
+
+SubmitStatus Runtime::submit_to(u32 shard, Command&& cmd) {
+  expects(shard < shards_.size(), "submit_to: shard out of range");
+  const SubmitStatus st = shards_[shard]->submit(std::move(cmd));
+  if (st == SubmitStatus::kAccepted) wake(worker_of(shard));
+  return st;
+}
+
+SubmitStatus Runtime::submit_to_blocking(u32 shard, Command&& cmd) {
+  expects(shard < shards_.size(),
+                "submit_to_blocking: shard out of range");
+  const SubmitStatus st = shards_[shard]->submit_blocking(std::move(cmd));
+  if (st == SubmitStatus::kAccepted) wake(worker_of(shard));
+  return st;
+}
+
+SubmitStatus Runtime::submit_by_port(u32 port, Command&& cmd) {
+  return submit_to(shard_of_port(port), std::move(cmd));
+}
+
+std::future<CommandResult> Runtime::call(u32 shard, Command&& cmd) {
+  auto promise = std::make_shared<std::promise<CommandResult>>();
+  std::future<CommandResult> fut = promise->get_future();
+  auto prev = std::move(cmd.done);
+  cmd.done = [promise, prev = std::move(prev)](CommandResult&& result) {
+    if (prev) {
+      CommandResult copy = result;
+      prev(std::move(copy));
+    }
+    promise->set_value(std::move(result));
+  };
+  submit_to_blocking(shard, std::move(cmd));
+  return fut;
+}
+
+RuntimeSnapshot Runtime::snapshot() const {
+  RuntimeSnapshot snap;
+  snap.shards.reserve(shards_.size());
+  for (const auto& s : shards_) snap.shards.push_back(s->snapshot());
+  for (const ShardStats& s : snap.shards) snap.total.merge(s);
+  publish_to_registry(snap);
+  return snap;
+}
+
+u64 Runtime::submitted() const {
+  u64 total = 0;
+  for (const auto& s : shards_) total += s->submitted();
+  return total;
+}
+
+void Runtime::dump_trace_jsonl(std::ostream& os) const {
+  expects(stopped_, "dump_trace_jsonl requires a stopped runtime");
+  for (const auto& s : shards_) s->trace().dump_jsonl(os, s->index());
+}
+
+void Runtime::wake(u32 worker) {
+  Worker& w = *workers_[worker];
+  {
+    util::MutexLock lock(w.mu);
+    ++w.signals;
+  }
+  w.cv.notify_one();
+}
+
+void Runtime::worker_loop(u32 w) {
+  Worker& me = *workers_[w];
+  for (;;) {
+    std::size_t applied = 0;
+    for (u32 s : me.shard_ids) applied += shards_[s]->process_available();
+    if (applied != 0) continue;  // re-scan: work may have landed meanwhile
+    bool stopping = false;
+    {
+      util::MutexLock lock(me.mu);
+      while (me.signals == 0 && !me.stop) me.cv.wait(me.mu);
+      me.signals = 0;
+      stopping = me.stop;
+    }
+    if (!stopping) continue;
+    // Queues were closed before the stop flag was set, so one more drain
+    // sees everything that was ever accepted; then retries terminate.
+    for (u32 s : me.shard_ids) shards_[s]->process_available();
+    for (u32 s : me.shard_ids) shards_[s]->flush_retries();
+    return;
+  }
+}
+
+}  // namespace confnet::runtime

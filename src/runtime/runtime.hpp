@@ -1,0 +1,152 @@
+// Front object of the concurrent admission runtime.
+//
+// A Runtime owns S shards (each a complete fabric + admission + recovery
+// control plane, see shard.hpp) and W worker threads; shard i is owned by
+// worker i % W, so every shard has exactly one owner thread for its whole
+// life and varying W changes only how shards are packed onto threads —
+// never per-shard outcomes. Producers route commands to a shard directly
+// (submit_to) or by global port (submit_by_port: shard = port / N, where N
+// is the per-shard port count), and get results through completion
+// callbacks or the future-returning call() convenience.
+//
+// Thread-safety contract: submit/call/snapshot/drain are thread-safe after
+// start(); the lifecycle methods (start/stop) and post-stop accessors
+// (dump_trace_jsonl, shard peeks) are externally synchronized — they must
+// be called by one controlling thread, with stop() strictly after start().
+//
+// Shutdown ordering (stop): (1) close every command queue — new submits are
+// answered inline with kRejectedStopped, nothing is silently dropped;
+// (2) set each worker's stop flag and wake it; (3) each worker drains what
+// its queues already accepted, runs pending recovery retries to a terminal
+// state (flush_retries), publishes final stats, and exits; (4) join.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "min/types.hpp"
+#include "runtime/command.hpp"
+#include "runtime/shard.hpp"
+#include "runtime/shard_obs.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace confnet::runtime {
+
+/// Whole-runtime construction knobs.
+struct RuntimeConfig {
+  u32 shards = 4;       // independent fabrics (fixed for a workload)
+  u32 workers = 1;      // owner threads; shard i belongs to worker i % W
+  ShardConfig shard{};  // applied to every shard (seed offset by index)
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const RuntimeConfig& config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- lifecycle: externally synchronized (one controller thread) ---------
+
+  /// Spawn the worker threads. Must be called exactly once before any
+  /// submit; commands submitted before start() would sit unprocessed.
+  void start();
+
+  /// Close queues, drain accepted commands, flush recovery retries, join
+  /// the workers. Idempotent. After stop(), submits are rejected inline
+  /// with kRejectedStopped (never lost: the completion still runs).
+  void stop();
+
+  /// Block until every command accepted so far has been applied and its
+  /// stats published. Thread-safe; the runtime keeps running.
+  void drain();
+
+  // --- submission: any thread, after start() ------------------------------
+
+  /// Route to an explicit shard. See Shard::submit for the verdicts.
+  SubmitStatus submit_to(u32 shard, Command&& cmd);
+
+  /// Same, but blocks instead of returning kQueueFull.
+  SubmitStatus submit_to_blocking(u32 shard, Command&& cmd);
+
+  /// Route by global port: shard = port / ports_per_shard().
+  SubmitStatus submit_by_port(u32 port, Command&& cmd);
+
+  /// Future-returning convenience: installs a completion that fulfills the
+  /// returned future, then submits (blocking on a full queue). The future
+  /// always becomes ready — with kRejectedStopped when the runtime refused
+  /// the command.
+  std::future<CommandResult> call(u32 shard, Command&& cmd);
+
+  // --- observability: any thread ------------------------------------------
+
+  /// Per-shard published stats (each internally consistent at a burst
+  /// boundary) plus their merge; also mirrored into the global
+  /// obs::Registry as `runtime/*` gauges.
+  [[nodiscard]] RuntimeSnapshot snapshot() const;
+
+  /// Commands accepted across all shards (the drain watermark).
+  [[nodiscard]] u64 submitted() const;
+
+  // --- post-stop: externally synchronized ---------------------------------
+
+  /// Serialize every shard's trace ring as JSONL (one object per line,
+  /// tagged with its shard). Requires stop() to have completed.
+  void dump_trace_jsonl(std::ostream& os) const;
+
+  /// Direct shard peek for tests. Producer-side methods are always safe;
+  /// owner-side state only after stop().
+  [[nodiscard]] Shard& shard(u32 index) { return *shards_[index]; }
+  [[nodiscard]] const Shard& shard(u32 index) const {
+    return *shards_[index];
+  }
+
+  [[nodiscard]] u32 shard_count() const noexcept {
+    return static_cast<u32>(shards_.size());
+  }
+  [[nodiscard]] u32 worker_count() const noexcept { return workers_n_; }
+  [[nodiscard]] u32 ports_per_shard() const noexcept { return ports_; }
+  [[nodiscard]] u32 total_ports() const noexcept {
+    return ports_ * shard_count();
+  }
+  [[nodiscard]] u32 shard_of_port(u32 port) const noexcept {
+    return (port / ports_) % shard_count();
+  }
+  [[nodiscard]] bool started() const noexcept { return started_; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+ private:
+  /// Parking state for one worker thread. The signal counter (not a bare
+  /// flag) makes wakeups level-triggered: a producer's wake between "saw
+  /// empty queues" and "parked" leaves signals > 0, so the worker re-scans
+  /// instead of sleeping through it.
+  struct Worker {
+    util::Mutex mu;              // runtime-owner: lock
+    util::CondVar cv;            // runtime-owner: lock
+    u64 signals CONFNET_GUARDED_BY(mu) = 0;
+    bool stop CONFNET_GUARDED_BY(mu) = false;
+    std::vector<u32> shard_ids;  // runtime-owner: immutable
+    std::thread thread;          // runtime-owner: caller
+  };
+
+  void worker_loop(u32 w);
+  void wake(u32 worker);
+  [[nodiscard]] u32 worker_of(u32 shard) const noexcept {
+    return shard % workers_n_;
+  }
+
+  const u32 workers_n_;  // runtime-owner: immutable
+  const u32 ports_;      // runtime-owner: immutable
+  std::vector<std::unique_ptr<Shard>> shards_;    // runtime-owner: immutable
+  std::vector<std::unique_ptr<Worker>> workers_;  // runtime-owner: immutable
+  bool started_ = false;  // runtime-owner: caller
+  bool stopped_ = false;  // runtime-owner: caller
+};
+
+}  // namespace confnet::runtime

@@ -1,0 +1,297 @@
+#include "runtime/shard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/trace.hpp"
+
+namespace confnet::runtime {
+
+namespace {
+// Burst bound for pop_batch: one lock round-trip amortizes over up to this
+// many commands; small enough that stats publish (and thus drain progress)
+// stays responsive.
+constexpr std::size_t kMaxBurst = 64;
+}  // namespace
+
+Shard::Shard(u32 index, const ShardConfig& config)
+    : index_(index),
+      config_(config),
+      network_(config.kind, config.stages,
+               conf::DilationProfile::uniform(config.stages, config.dilation)),
+      wait_(network_, config.policy, config.wait_capacity, config.wait_bypass,
+            config.backend),
+      recovery_(wait_, config.recovery),
+      rng_(config.seed + index),
+      trace_(config.trace_capacity),
+      queue_(config.queue_depth) {
+  burst_.reserve(kMaxBurst);
+  publish();  // expose a consistent (all-zero) snapshot before any command
+}
+
+SubmitStatus Shard::submit(Command&& cmd) {
+  switch (queue_.try_push(std::move(cmd))) {
+    case QueuePush::kOk:
+      return SubmitStatus::kAccepted;
+    case QueuePush::kFull:
+      return SubmitStatus::kQueueFull;
+    case QueuePush::kClosed:
+      break;
+  }
+  // Stopped: answer inline so the command is rejected, not lost. `cmd` was
+  // not consumed by the failed push.
+  rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
+  if (cmd.done) {
+    CommandResult result;
+    result.kind = cmd.kind;
+    result.status = CommandStatus::kRejectedStopped;
+    result.shard = index_;
+    cmd.done(std::move(result));
+  }
+  return SubmitStatus::kStopped;
+}
+
+SubmitStatus Shard::submit_blocking(Command&& cmd) {
+  if (queue_.push_wait(std::move(cmd)) == QueuePush::kOk)
+    return SubmitStatus::kAccepted;
+  rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
+  if (cmd.done) {
+    CommandResult result;
+    result.kind = cmd.kind;
+    result.status = CommandStatus::kRejectedStopped;
+    result.shard = index_;
+    cmd.done(std::move(result));
+  }
+  return SubmitStatus::kStopped;
+}
+
+std::size_t Shard::process_available() {
+  std::size_t applied = 0;
+  for (;;) {
+    const std::size_t depth = queue_.size();
+    burst_.clear();
+    const std::size_t n = queue_.pop_batch(burst_, kMaxBurst);
+    if (n == 0) break;
+    stats_.max_queue_depth = std::max<u64>(stats_.max_queue_depth, depth);
+    ++stats_.bursts;
+    stats_.max_burst = std::max<u64>(stats_.max_burst, n);
+    for (std::size_t i = 0; i < n; ++i) apply(burst_[i]);
+    applied += n;
+    publish();
+  }
+  return applied;
+}
+
+void Shard::serve_open(OpenOutcome& out,
+                       const conf::WaitQueueManager::RequestResult& r) {
+  out.outcome = r.outcome;
+  out.session = r.session;
+  out.ticket = r.ticket;
+  ++stats_.opens;
+  switch (r.outcome) {
+    case conf::RequestOutcome::kServed:
+      ++stats_.accepted;
+      break;
+    case conf::RequestOutcome::kQueued:
+      ++stats_.queued;
+      break;
+    case conf::RequestOutcome::kRejected:
+      ++stats_.rejected;
+      break;
+  }
+}
+
+void Shard::absorb_served(
+    CommandResult& result,
+    std::vector<conf::WaitQueueManager::ServedTicket> served) {
+  if (served.empty()) return;
+  stats_.served_after_wait += served.size();
+  const auto recovered =
+      recovery_.absorb(served, static_cast<double>(now_));
+  stats_.recovered += recovered.size();
+  result.recovered += static_cast<u32>(recovered.size());
+  result.served.insert(result.served.end(), served.begin(), served.end());
+}
+
+void Shard::schedule_retries(
+    std::vector<conf::RecoveryCoordinator::PendingRetry> retries) {
+  for (auto& p : retries) {
+    const double due = static_cast<double>(now_) +
+                       config_.recovery.backoff_delay(p.attempt);
+    retries_.push_back(DueRetry{due, p});
+  }
+}
+
+void Shard::run_due_retries(CommandResult& result) {
+  // Logical time only advances with commands, so due retries are run right
+  // after the command that made them due; ordering within a batch of due
+  // retries is FIFO on schedule order (stable partition keeps it).
+  std::size_t i = 0;
+  while (i < retries_.size()) {
+    if (retries_[i].due > static_cast<double>(now_)) {
+      ++i;
+      continue;
+    }
+    const DueRetry due = retries_[i];
+    retries_.erase(retries_.begin() +
+                   static_cast<std::ptrdiff_t>(i));
+    ++stats_.retries_run;
+    const auto outcome =
+        recovery_.retry(due.pending, static_cast<double>(now_), rng_);
+    if (outcome.recovered) {
+      ++stats_.recovered;
+      ++result.recovered;
+    } else if (outcome.dropped) {
+      ++stats_.dropped;
+    } else if (outcome.again) {
+      schedule_retries({*outcome.again});
+    } else if (outcome.expired) {
+      ++stats_.expired;  // origin departed between retries
+    }
+  }
+}
+
+void Shard::flush_retries() {
+  // Shutdown: run every pending retry to a terminal state regardless of its
+  // backoff due time. The retry budget bounds the loop.
+  while (!retries_.empty()) {
+    const DueRetry due = retries_.front();
+    retries_.erase(retries_.begin());
+    ++stats_.retries_run;
+    const auto outcome =
+        recovery_.retry(due.pending, static_cast<double>(now_), rng_);
+    if (outcome.recovered) {
+      ++stats_.recovered;
+    } else if (outcome.dropped) {
+      ++stats_.dropped;
+    } else if (outcome.again) {
+      retries_.push_back(DueRetry{static_cast<double>(now_), *outcome.again});
+    } else if (outcome.expired) {
+      ++stats_.expired;
+    }
+  }
+  publish();
+}
+
+void Shard::apply(Command& cmd) {
+  CommandResult result;
+  result.kind = cmd.kind;
+  result.status = CommandStatus::kDone;
+  result.shard = index_;
+  result.applied_at = now_;
+
+  switch (cmd.kind) {
+    case CommandKind::kOpen: {
+      serve_open(result.open, wait_.request(cmd.size, rng_));
+      break;
+    }
+    case CommandKind::kOpenBatch: {
+      const auto results = wait_.request_batch(cmd.batch_sizes, rng_);
+      result.batch.resize(results.size());
+      for (std::size_t i = 0; i < results.size(); ++i)
+        serve_open(result.batch[i], results[i]);
+      break;
+    }
+    case CommandKind::kClose: {
+      if (wait_.sessions().contains(cmd.session)) {
+        result.ok = true;
+        ++stats_.closes;
+        absorb_served(result, wait_.close(cmd.session, rng_));
+      } else {
+        // The session may be an interrupted one still on the recovery
+        // path; a close then cancels the pending recovery.
+        if (recovery_.on_origin_departed(cmd.session,
+                                         static_cast<double>(now_)))
+          ++stats_.expired;
+      }
+      break;
+    }
+    case CommandKind::kReplace: {
+      // Close-then-open composite. `ok` reports whether the close half
+      // found a live session; the open half always runs so churn keeps
+      // flowing even when a fault tore the old session down first.
+      if (wait_.sessions().contains(cmd.session)) {
+        result.ok = true;
+        absorb_served(result, wait_.close(cmd.session, rng_));
+      } else if (recovery_.on_origin_departed(cmd.session,
+                                               static_cast<double>(now_))) {
+        ++stats_.expired;
+      }
+      ++stats_.replaces;
+      serve_open(result.open, wait_.request(cmd.size, rng_));
+      break;
+    }
+    case CommandKind::kFailLink: {
+      const bool was_faulty = network_.link_faulty(cmd.level, cmd.row);
+      auto impact = recovery_.fail_link(cmd.level, cmd.row,
+                                        static_cast<double>(now_), rng_);
+      result.ok = !was_faulty;
+      if (result.ok) ++stats_.link_failures;
+      stats_.torn_down += impact.torn_down.size();
+      stats_.recovered += impact.recovered.size();
+      result.torn_down = static_cast<u32>(impact.torn_down.size());
+      result.recovered = static_cast<u32>(impact.recovered.size());
+      result.pending_retries = static_cast<u32>(impact.retries.size());
+      schedule_retries(std::move(impact.retries));
+      // Teardown may have freed room for regular waiters too.
+      absorb_served(result, wait_.drain(rng_));
+      break;
+    }
+    case CommandKind::kRepairLink: {
+      const bool was_faulty = network_.link_faulty(cmd.level, cmd.row);
+      auto impact = recovery_.repair_link(cmd.level, cmd.row,
+                                          static_cast<double>(now_), rng_);
+      result.ok = was_faulty;
+      if (result.ok) ++stats_.link_repairs;
+      stats_.served_after_wait += impact.served.size();
+      stats_.recovered += impact.recovered.size();
+      result.recovered = static_cast<u32>(impact.recovered.size());
+      result.served = std::move(impact.served);
+      break;
+    }
+  }
+
+  ++now_;
+  ++stats_.commands;
+  stats_.logical_time = now_;
+  run_due_retries(result);
+  ++stats_.completed;
+  stats_.active_sessions = wait_.sessions().active_sessions();
+  if (trace_.enabled()) {
+    trace_.record(command_name(cmd.kind), now_,
+                  static_cast<double>(stats_.active_sessions));
+  }
+  // Mirror into the process-wide tracer (no-op unless --trace armed it;
+  // Tracer::record is thread-safe, so concurrent shards may interleave).
+  obs::trace_emit("runtime", command_name(cmd.kind),
+                  static_cast<double>(stats_.active_sessions));
+  if (cmd.done) cmd.done(std::move(result));
+}
+
+void Shard::publish() {
+  ShardStats copy = stats_;
+  copy.rejected_stopped = rejected_stopped_.load(std::memory_order_relaxed);
+  {
+    util::MutexLock lock(pub_mu_);
+    published_ = copy;
+  }
+  pub_cv_.notify_all();
+}
+
+ShardStats Shard::snapshot() const {
+  ShardStats copy;
+  {
+    util::MutexLock lock(pub_mu_);
+    copy = published_;
+  }
+  // Folded in outside the stats identities: producers bump it directly.
+  copy.rejected_stopped = rejected_stopped_.load(std::memory_order_relaxed);
+  return copy;
+}
+
+void Shard::wait_published(u64 watermark) const {
+  util::MutexLock lock(pub_mu_);
+  while (published_.completed < watermark) pub_cv_.wait(pub_mu_);
+}
+
+}  // namespace confnet::runtime

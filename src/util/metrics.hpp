@@ -7,6 +7,7 @@
 // cause and routing latency are recorded per run instead of only appearing
 // in final printed tables.
 //
+// Thread-safety contract: thread-safe.
 // Concurrency model (chosen for the hot paths that call it):
 //   * registration/lookup takes a mutex — done once per call site, usually
 //     at first use through a function-local static handle;

@@ -15,6 +15,11 @@
 //   * Bounded: the ring overwrites the oldest records once full and counts
 //     what it dropped, so tracing a long simulation cannot exhaust memory.
 //
+// Thread-safety contract: thread-safe. The enabled check is a relaxed
+// atomic load; record() serializes appends under the tracer's own mutex,
+// so concurrent emitters (e.g. the runtime's shard workers) interleave
+// records without tearing. Dumps take the same mutex.
+//
 // Dump format: one JSON object per line; the first line is a header with
 // the seed and record accounting, each following line one record in append
 // order (oldest surviving record first).

@@ -1,0 +1,467 @@
+// Functional tests of the concurrent admission runtime: command routing,
+// the bounded-queue edge cases (backpressure, drain-on-stop with in-flight
+// batches, post-stop rejection), cross-shard snapshot consistency, fault
+// commands, and the worker-count determinism contract (per-shard outcomes
+// depend only on the per-shard command sequence and seed, never on how
+// shards are packed onto worker threads).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "conference/designs.hpp"
+#include "conference/recovery.hpp"
+#include "conference/waitqueue.hpp"
+#include "min/types.hpp"
+#include "runtime/command.hpp"
+#include "runtime/queue.hpp"
+#include "runtime/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using confnet::min::u32;
+using confnet::min::u64;
+namespace conf = confnet::conf;
+namespace rt = confnet::runtime;
+
+rt::RuntimeConfig small_config(u32 shards, u32 workers) {
+  rt::RuntimeConfig cfg;
+  cfg.shards = shards;
+  cfg.workers = workers;
+  cfg.shard.stages = 4;  // 16 ports per shard
+  cfg.shard.queue_depth = 64;
+  cfg.shard.wait_capacity = 8;
+  cfg.shard.seed = 42;
+  return cfg;
+}
+
+rt::Command open_cmd(u32 size) {
+  rt::Command c;
+  c.kind = rt::CommandKind::kOpen;
+  c.size = size;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Basic lifecycle and command round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(Runtime, OpenCloseRoundTripThroughFutures) {
+  rt::Runtime r(small_config(2, 1));
+  r.start();
+
+  auto opened = r.call(0, open_cmd(3)).get();
+  ASSERT_EQ(opened.status, rt::CommandStatus::kDone);
+  ASSERT_EQ(opened.open.outcome, conf::RequestOutcome::kServed);
+  ASSERT_TRUE(opened.open.session.has_value());
+  EXPECT_EQ(opened.shard, 0u);
+
+  rt::Command close;
+  close.kind = rt::CommandKind::kClose;
+  close.session = *opened.open.session;
+  auto closed = r.call(0, std::move(close)).get();
+  EXPECT_EQ(closed.status, rt::CommandStatus::kDone);
+  EXPECT_TRUE(closed.ok);
+
+  r.stop();
+  const rt::RuntimeSnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.total.opens, 1u);
+  EXPECT_EQ(snap.total.accepted, 1u);
+  EXPECT_EQ(snap.total.closes, 1u);
+  EXPECT_EQ(snap.total.active_sessions, 0u);
+}
+
+TEST(Runtime, OpenBatchReportsInputOrderOutcomes) {
+  rt::Runtime r(small_config(1, 1));
+  r.start();
+  rt::Command c;
+  c.kind = rt::CommandKind::kOpenBatch;
+  c.batch_sizes = {2, 5, 3};
+  auto result = r.call(0, std::move(c)).get();
+  r.stop();
+  ASSERT_EQ(result.status, rt::CommandStatus::kDone);
+  ASSERT_EQ(result.batch.size(), 3u);
+
+  // The runtime must report exactly what a serial WaitQueueManager fed the
+  // same batch with the same seed reports, in input order. (Not all three
+  // need to be admitted — blocking is the point of these fabrics.)
+  const rt::RuntimeConfig cfg = small_config(1, 1);
+  conf::DirectConferenceNetwork net(
+      cfg.shard.kind, cfg.shard.stages,
+      conf::DilationProfile::uniform(cfg.shard.stages, 1));
+  conf::WaitQueueManager oracle(net, cfg.shard.policy,
+                                cfg.shard.wait_capacity,
+                                cfg.shard.wait_bypass, cfg.shard.backend);
+  confnet::util::Rng rng(cfg.shard.seed);
+  const auto expected = oracle.request_batch({2, 5, 3}, rng);
+  ASSERT_EQ(expected.size(), 3u);
+  u32 served = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.batch[i].outcome, expected[i].outcome);
+    EXPECT_EQ(result.batch[i].session.has_value(),
+              expected[i].session.has_value());
+    if (result.batch[i].session) ++served;
+  }
+  EXPECT_GE(served, 1u);
+  const rt::RuntimeSnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.total.opens, 3u);
+  EXPECT_EQ(snap.total.accepted, static_cast<u64>(served));
+}
+
+TEST(Runtime, PortRoutingPicksContiguousBlocks) {
+  rt::Runtime r(small_config(4, 2));
+  EXPECT_EQ(r.ports_per_shard(), 16u);
+  EXPECT_EQ(r.total_ports(), 64u);
+  EXPECT_EQ(r.shard_of_port(0), 0u);
+  EXPECT_EQ(r.shard_of_port(15), 0u);
+  EXPECT_EQ(r.shard_of_port(16), 1u);
+  EXPECT_EQ(r.shard_of_port(63), 3u);
+  r.start();
+  auto result = r.call(r.shard_of_port(40), open_cmd(2)).get();
+  EXPECT_EQ(result.shard, 2u);
+  r.stop();
+}
+
+TEST(Runtime, ReplaceSwapsSessionsAndToleratesDeadOnes) {
+  rt::Runtime r(small_config(1, 1));
+  r.start();
+  auto opened = r.call(0, open_cmd(4)).get();
+  ASSERT_TRUE(opened.open.session.has_value());
+
+  rt::Command swap;
+  swap.kind = rt::CommandKind::kReplace;
+  swap.session = *opened.open.session;
+  swap.size = 2;
+  auto swapped = r.call(0, std::move(swap)).get();
+  EXPECT_TRUE(swapped.ok);
+  EXPECT_EQ(swapped.open.outcome, conf::RequestOutcome::kServed);
+
+  // Replacing a session that no longer exists still runs the open half.
+  rt::Command ghost;
+  ghost.kind = rt::CommandKind::kReplace;
+  ghost.session = 9999;
+  ghost.size = 2;
+  auto ghosted = r.call(0, std::move(ghost)).get();
+  EXPECT_FALSE(ghosted.ok);
+  EXPECT_EQ(ghosted.open.outcome, conf::RequestOutcome::kServed);
+  r.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Queue edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(Runtime, FullQueueBackpressureReturnsCommandToCaller) {
+  // No workers running yet, so the queue can only fill: capacity accepts,
+  // the next submit bounces with kQueueFull and the command is NOT consumed
+  // (its completion must never fire).
+  rt::RuntimeConfig cfg = small_config(1, 1);
+  cfg.shard.queue_depth = 4;
+  rt::Runtime r(cfg);
+
+  std::atomic<int> completions{0};
+  for (int i = 0; i < 4; ++i) {
+    rt::Command c = open_cmd(2);
+    c.done = [&](rt::CommandResult&&) { completions.fetch_add(1); };
+    EXPECT_EQ(r.submit_to(0, std::move(c)), rt::SubmitStatus::kAccepted);
+  }
+  rt::Command extra = open_cmd(2);
+  bool extra_completed = false;
+  extra.done = [&](rt::CommandResult&&) { extra_completed = true; };
+  EXPECT_EQ(r.submit_to(0, std::move(extra)), rt::SubmitStatus::kQueueFull);
+  EXPECT_FALSE(extra_completed);
+  EXPECT_TRUE(static_cast<bool>(extra.done));  // caller still owns it
+
+  // Once workers run, the backlog drains and a resubmit goes through.
+  r.start();
+  r.drain();
+  EXPECT_EQ(r.submit_to(0, std::move(extra)), rt::SubmitStatus::kAccepted);
+  r.drain();
+  r.stop();
+  EXPECT_EQ(completions.load(), 4);
+  EXPECT_TRUE(extra_completed);
+  EXPECT_EQ(r.snapshot().total.completed, 5u);
+}
+
+TEST(Runtime, StopDrainsInFlightBatchesExactlyOnce) {
+  // Stop immediately after a burst of submits: every accepted command must
+  // still be applied (drain-on-stop), and each completion runs exactly once.
+  rt::RuntimeConfig cfg = small_config(4, 2);
+  cfg.shard.queue_depth = 512;
+  rt::Runtime r(cfg);
+  r.start();
+
+  std::atomic<int> completions{0};
+  constexpr int kPerShard = 100;
+  for (u32 s = 0; s < 4; ++s) {
+    for (int i = 0; i < kPerShard; ++i) {
+      rt::Command c =
+          open_cmd(2 + static_cast<u32>(i % 3));
+      if (i % 5 == 4) {
+        c.kind = rt::CommandKind::kOpenBatch;
+        c.batch_sizes = {2, 3};
+        c.size = 0;
+      }
+      c.done = [&](rt::CommandResult&& result) {
+        EXPECT_EQ(result.status, rt::CommandStatus::kDone);
+        completions.fetch_add(1);
+      };
+      ASSERT_EQ(r.submit_to_blocking(s, std::move(c)),
+                rt::SubmitStatus::kAccepted);
+    }
+  }
+  r.stop();  // no drain() first — stop itself must finish the backlog
+
+  EXPECT_EQ(completions.load(), 4 * kPerShard);
+  const rt::RuntimeSnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.total.completed, static_cast<u64>(4 * kPerShard));
+  EXPECT_EQ(snap.total.rejected_stopped, 0u);
+}
+
+TEST(Runtime, PostStopCommandsAreRejectedNotLost) {
+  rt::Runtime r(small_config(2, 1));
+  r.start();
+  r.stop();
+
+  bool completed = false;
+  rt::Command c = open_cmd(3);
+  c.done = [&](rt::CommandResult&& result) {
+    completed = true;
+    EXPECT_EQ(result.status, rt::CommandStatus::kRejectedStopped);
+    EXPECT_EQ(result.kind, rt::CommandKind::kOpen);
+  };
+  EXPECT_EQ(r.submit_to(0, std::move(c)), rt::SubmitStatus::kStopped);
+  EXPECT_TRUE(completed);  // inline, on this thread
+
+  // Futures become ready too — nothing hangs.
+  auto fut = r.call(1, open_cmd(2));
+  EXPECT_EQ(fut.get().status, rt::CommandStatus::kRejectedStopped);
+
+  const rt::RuntimeSnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.total.rejected_stopped, 2u);
+  EXPECT_EQ(snap.total.opens, 0u);  // never applied
+}
+
+TEST(Runtime, NeverStartedRuntimeRejectsAfterStop) {
+  rt::Runtime r(small_config(1, 1));
+  r.stop();
+  EXPECT_EQ(r.submit_to(0, open_cmd(2)), rt::SubmitStatus::kStopped);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot consistency.
+// ---------------------------------------------------------------------------
+
+TEST(Runtime, SnapshotsAreConsistentWhileChurning) {
+  rt::RuntimeConfig cfg = small_config(4, 2);
+  rt::Runtime r(cfg);
+  r.start();
+
+  std::atomic<bool> go{true};
+  std::thread pounder([&] {
+    confnet::util::Rng rng(7);
+    while (go.load()) {
+      for (u32 s = 0; s < 4; ++s) {
+        rt::Command c = open_cmd(2 + static_cast<u32>(rng.below(4)));
+        (void)r.submit_to(s, std::move(c));
+      }
+    }
+  });
+
+  // Every published per-shard snapshot must satisfy the burst-boundary
+  // identities even while commands are in flight.
+  for (int round = 0; round < 200; ++round) {
+    const rt::RuntimeSnapshot snap = r.snapshot();
+    for (const rt::ShardStats& s : snap.shards) {
+      EXPECT_TRUE(s.consistent())
+          << "opens=" << s.opens << " accepted=" << s.accepted
+          << " queued=" << s.queued << " rejected=" << s.rejected
+          << " commands=" << s.commands << " completed=" << s.completed;
+    }
+  }
+  go.store(false);
+  pounder.join();
+  r.stop();
+
+  const rt::RuntimeSnapshot final_snap = r.snapshot();
+  for (const rt::ShardStats& s : final_snap.shards)
+    EXPECT_TRUE(s.consistent());
+  EXPECT_EQ(final_snap.total.completed, r.submitted());
+}
+
+// ---------------------------------------------------------------------------
+// Faults through the runtime.
+// ---------------------------------------------------------------------------
+
+TEST(Runtime, FailAndRepairLinkRunRecovery) {
+  rt::RuntimeConfig cfg = small_config(1, 1);
+  rt::Runtime r(cfg);
+  r.start();
+
+  // Load the shard so some sessions cross interstage links.
+  int accepted = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto result = r.call(0, open_cmd(2)).get();
+    if (result.open.outcome == conf::RequestOutcome::kServed) ++accepted;
+  }
+  ASSERT_GT(accepted, 0);
+
+  rt::Command fail;
+  fail.kind = rt::CommandKind::kFailLink;
+  fail.level = 1;
+  fail.row = 0;
+  auto failed = r.call(0, std::move(fail)).get();
+  EXPECT_TRUE(failed.ok);
+
+  // Failing the same link again is an idempotent no-op.
+  rt::Command again;
+  again.kind = rt::CommandKind::kFailLink;
+  again.level = 1;
+  again.row = 0;
+  EXPECT_FALSE(r.call(0, std::move(again)).get().ok);
+
+  rt::Command repair;
+  repair.kind = rt::CommandKind::kRepairLink;
+  repair.level = 1;
+  repair.row = 0;
+  EXPECT_TRUE(r.call(0, std::move(repair)).get().ok);
+
+  r.stop();
+  const rt::ShardStats s = r.shard(0).snapshot();
+  EXPECT_EQ(s.link_failures, 1u);
+  EXPECT_EQ(s.link_repairs, 1u);
+  EXPECT_TRUE(s.consistent());
+  // Conservation: every interrupted session was recovered, dropped by the
+  // shutdown retry flush, or is still queued waiting for capacity (the
+  // fabric stayed full, so a victim can legitimately wait forever).
+  EXPECT_EQ(s.recovered + s.dropped + s.expired +
+                r.shard(0).recovery().pending(),
+            s.torn_down);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across worker counts.
+// ---------------------------------------------------------------------------
+
+struct Outcome {
+  conf::RequestOutcome outcome;
+  u32 session;  // 0 when not served
+  bool operator==(const Outcome&) const = default;
+};
+
+// Scripted per-shard workload: open sizes from a seeded RNG, closing the
+// oldest open session every third command. Returns the outcome sequence.
+std::vector<Outcome> run_scripted(rt::Runtime& r, u32 shard, u64 seed,
+                                  int commands) {
+  confnet::util::Rng script(seed);
+  std::vector<Outcome> outcomes;
+  std::vector<u32> live;
+  for (int i = 0; i < commands; ++i) {
+    if (i % 3 == 2 && !live.empty()) {
+      rt::Command c;
+      c.kind = rt::CommandKind::kClose;
+      c.session = live.front();
+      live.erase(live.begin());
+      (void)r.call(shard, std::move(c)).get();
+      continue;
+    }
+    const u32 size = 2 + static_cast<u32>(script.below(5));
+    auto result = r.call(shard, open_cmd(size)).get();
+    Outcome o{result.open.outcome, result.open.session.value_or(0)};
+    if (result.open.session) live.push_back(*result.open.session);
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+TEST(Runtime, OutcomesIndependentOfWorkerCount) {
+  constexpr int kCommands = 120;
+  std::vector<std::vector<Outcome>> per_worker_runs;
+  std::vector<rt::ShardStats> totals;
+  for (u32 workers : {1u, 2u, 4u}) {
+    rt::Runtime r(small_config(4, workers));
+    r.start();
+    std::vector<Outcome> all;
+    for (u32 s = 0; s < 4; ++s) {
+      auto outcomes = run_scripted(r, s, 1000 + s, kCommands);
+      all.insert(all.end(), outcomes.begin(), outcomes.end());
+    }
+    r.stop();
+    per_worker_runs.push_back(std::move(all));
+    totals.push_back(r.snapshot().total);
+  }
+  EXPECT_EQ(per_worker_runs[0], per_worker_runs[1]);
+  EXPECT_EQ(per_worker_runs[0], per_worker_runs[2]);
+  EXPECT_EQ(totals[0].accepted, totals[1].accepted);
+  EXPECT_EQ(totals[0].accepted, totals[2].accepted);
+  EXPECT_EQ(totals[0].rejected, totals[2].rejected);
+}
+
+TEST(Runtime, ShardMatchesSerialWaitQueueOracle) {
+  // The runtime's per-shard outcomes must equal a serial WaitQueueManager
+  // fed the same command sequence with the same seed — the runtime adds
+  // threading, never different admission decisions.
+  rt::RuntimeConfig cfg = small_config(1, 1);
+  rt::Runtime r(cfg);
+  r.start();
+  auto runtime_outcomes = run_scripted(r, 0, 555, 90);
+  r.stop();
+
+  conf::DirectConferenceNetwork net(
+      cfg.shard.kind, cfg.shard.stages,
+      conf::DilationProfile::uniform(cfg.shard.stages, 1));
+  conf::WaitQueueManager oracle(net, cfg.shard.policy,
+                                cfg.shard.wait_capacity,
+                                cfg.shard.wait_bypass, cfg.shard.backend);
+  confnet::util::Rng rng(cfg.shard.seed + 0);  // shard 0's seed
+  confnet::util::Rng script(555);
+  std::vector<Outcome> oracle_outcomes;
+  std::vector<u32> live;
+  for (int i = 0; i < 90; ++i) {
+    if (i % 3 == 2 && !live.empty()) {
+      (void)oracle.close(live.front(), rng);
+      live.erase(live.begin());
+      continue;
+    }
+    const u32 size = 2 + static_cast<u32>(script.below(5));
+    const auto result = oracle.request(size, rng);
+    Outcome o{result.outcome,
+              result.session ? *result.session : 0};
+    if (result.session) live.push_back(*result.session);
+    oracle_outcomes.push_back(o);
+  }
+  EXPECT_EQ(runtime_outcomes, oracle_outcomes);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring.
+// ---------------------------------------------------------------------------
+
+TEST(Runtime, TraceRingDumpsTaggedJsonl) {
+  rt::RuntimeConfig cfg = small_config(2, 1);
+  cfg.shard.trace_capacity = 32;
+  rt::Runtime r(cfg);
+  r.start();
+  for (u32 s = 0; s < 2; ++s)
+    for (int i = 0; i < 5; ++i) (void)r.call(s, open_cmd(2)).get();
+  r.stop();
+
+  std::ostringstream os;
+  r.dump_trace_jsonl(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"shard\""), std::string::npos);
+  EXPECT_NE(out.find("\"open\""), std::string::npos);
+  // 10 commands → 10 lines.
+  std::size_t lines = 0;
+  for (char ch : out)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 10u);
+}
+
+}  // namespace

@@ -18,7 +18,12 @@ sanitizer jobs. Enforced conventions:
   5. Every header under src/ opens with a file-level `//` comment block
      (before `#pragma once`) saying what the module is for. This is the
      documentation gate: a header nobody can describe in a sentence is a
-     header nobody can review.
+     header nobody can review. Concurrency-adjacent headers — anything
+     under src/runtime/, or any header that declares util::Mutex /
+     CONFNET_GUARDED_BY / std::atomic state — must additionally state a
+     thread-safety contract in that comment: one of "thread-safe",
+     "thread-confined" (to an owner thread), or "externally
+     synchronized". docs/THREADING.md defines the three contracts.
 
 After its own rules, this gate also runs tools/static_check.py (the
 concurrency-contract checker); its rule registry is discovered via
@@ -54,6 +59,16 @@ SMART_WRAP_RE = re.compile(
 )
 PARENT_INCLUDE_RE = re.compile(r'#include\s+"\.\./')
 LOCAL_INCLUDE_RE = re.compile(r'#include\s+"([^"]+)"')
+
+# Rule 5, thread-safety half: a header is concurrency-adjacent when it
+# lives in src/runtime/ or declares synchronization / shared state.
+CONCURRENCY_STATE_RE = re.compile(
+    r"util::Mutex\b|util::CondVar\b|CONFNET_GUARDED_BY\b|std::atomic\s*<"
+)
+# Accepted contract phrases in the leading comment (case-insensitive).
+THREAD_CONTRACT_RE = re.compile(
+    r"thread-safe|thread-confined|externally\s+synchronized", re.IGNORECASE
+)
 
 
 # Deliberately rule-breaking inputs for static_check.py's self-test; never
@@ -98,6 +113,28 @@ def check_file(path: Path, problems: list[str]) -> None:
                 f"{rel}:1: header must start with a file-level `//` "
                 "comment describing the module"
             )
+        else:
+            leading = []
+            for ln in lines:
+                stripped = ln.strip()
+                if stripped.startswith("//"):
+                    leading.append(stripped)
+                elif stripped:
+                    break
+            header_comment = "\n".join(leading)
+            concurrency_adjacent = (
+                path.is_relative_to(SRC / "runtime")
+                or CONCURRENCY_STATE_RE.search(text)
+            )
+            if concurrency_adjacent and not THREAD_CONTRACT_RE.search(
+                header_comment
+            ):
+                problems.append(
+                    f"{rel}:1: concurrency-adjacent header must state its "
+                    "thread-safety contract in the leading comment: "
+                    "\"thread-safe\", \"thread-confined\", or \"externally "
+                    "synchronized\" (see docs/THREADING.md)"
+                )
 
     in_block_comment = False
     for lineno, raw in enumerate(lines, start=1):

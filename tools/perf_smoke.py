@@ -2,7 +2,7 @@
 """Run the hot-path benchmark sections and merge them into one artifact.
 
 Usage:
-    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr5.json]
+    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr7.json]
         [--min-time SECONDS]
 
 Runs the BM_* timing sections of the benchmark binaries that cover the
@@ -16,7 +16,10 @@ optimized hot paths:
     verification) vs /1 (stateless Fabric::evaluate rebuild);
   * bench_e14_admission — BM_AdmissionChurn (bitmap port index vs the
     reference placer oracle, N=1024 high churn) and
-    BM_TeletrafficAdmission (end-to-end DES admission, serial vs batched).
+    BM_TeletrafficAdmission (end-to-end DES admission, serial vs batched);
+  * bench_e15_runtime — BM_RuntimeChurn at --workers 1,2,4 (thread-per-
+    shard concurrent runtime over 4 shards; the admitted/blocked counters
+    are worker-count invariant and gated, wall time is the scaling curve).
 
 Each binary writes a native google-benchmark JSON file; the tool merges
 them into one document whose top-level "benchmarks" array carries
@@ -24,7 +27,7 @@ binary-prefixed names ("bench_e2_multiplicity/BM_MeasureMultiplicity/6"),
 ready for tools/compare_bench.py's timing section:
 
     python3 tools/perf_smoke.py --out BENCH_new.json
-    python3 tools/compare_bench.py BENCH_pr5.json BENCH_new.json --warn-only
+    python3 tools/compare_bench.py BENCH_pr7.json BENCH_new.json --warn-only
 
 Exit status: 0 = all binaries ran, 1 = a binary failed, 2 = usage error.
 """
@@ -38,13 +41,16 @@ import sys
 import tempfile
 from pathlib import Path
 
-# (binary, benchmark_filter) — filters keep the smoke run focused on the
-# hot-path sections (bench_e8 also registers a slow talk-spurt benchmark).
+# (binary, benchmark_filter, extra_flags) — filters keep the smoke run
+# focused on the hot-path sections (bench_e8 also registers a slow
+# talk-spurt benchmark); extra flags are harness-level (consumed before
+# google-benchmark parses argv).
 TARGETS = (
-    ("bench_e2_multiplicity", "BM_MeasureMultiplicity"),
-    ("bench_e4_load_multiplicity", "BM_MonteCarloTrial"),
-    ("bench_e8_latency", "BM_SteadyStateEventRate"),
-    ("bench_e14_admission", "BM_"),
+    ("bench_e2_multiplicity", "BM_MeasureMultiplicity", ()),
+    ("bench_e4_load_multiplicity", "BM_MonteCarloTrial", ()),
+    ("bench_e8_latency", "BM_SteadyStateEventRate", ()),
+    ("bench_e14_admission", "BM_", ()),
+    ("bench_e15_runtime", "BM_RuntimeChurn", ("--workers=1,2,4",)),
 )
 
 SEARCH_DIRS = ("build/bench", "build/release/bench")
@@ -60,10 +66,11 @@ def find_binary(build_dir: Path | None, name: str) -> Path | None:
     return None
 
 
-def run_one(binary: Path, bench_filter: str, min_time: float,
-            out_path: Path) -> dict:
+def run_one(binary: Path, bench_filter: str, extra_flags: tuple[str, ...],
+            min_time: float, out_path: Path) -> dict:
     cmd = [
         str(binary),
+        *extra_flags,
         f"--benchmark_filter={bench_filter}",
         f"--benchmark_out={out_path}",
         "--benchmark_out_format=json",
@@ -83,7 +90,7 @@ def main() -> int:
     parser.add_argument("--build-dir", type=Path, default=None,
                         help="build tree holding bench/ (default: search "
                              f"{', '.join(SEARCH_DIRS)})")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr5.json"))
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr7.json"))
     parser.add_argument("--min-time", type=float, default=0.0,
                         help="--benchmark_min_time per benchmark (seconds); "
                              "0 keeps the google-benchmark default")
@@ -92,7 +99,7 @@ def main() -> int:
     merged: dict = {"perf_smoke": 1, "contexts": {}, "benchmarks": []}
     failures = 0
     with tempfile.TemporaryDirectory() as tmp:
-        for name, bench_filter in TARGETS:
+        for name, bench_filter, extra_flags in TARGETS:
             binary = find_binary(args.build_dir, name)
             if binary is None:
                 print(f"SKIP {name}: binary not found (build the bench "
@@ -100,8 +107,8 @@ def main() -> int:
                 failures += 1
                 continue
             try:
-                doc = run_one(binary, bench_filter, args.min_time,
-                              Path(tmp) / f"{name}.json")
+                doc = run_one(binary, bench_filter, extra_flags,
+                              args.min_time, Path(tmp) / f"{name}.json")
             except subprocess.CalledProcessError as exc:
                 print(f"FAIL {name}: exit {exc.returncode}", file=sys.stderr)
                 failures += 1

@@ -31,6 +31,16 @@ installed). Enforces the repo-specific rules that the compiler cannot:
                    time through the DES logical clock, keeping every run
                    byte-reproducible from its seed.
 
+  runtime-owner    Every `name_` member declared in a src/runtime header
+                   states its ownership: either CONFNET_GUARDED_BY(<mu>)
+                   (provable by -Wthread-safety) or a same-line
+                   `// runtime-owner: <tag>` comment naming who may touch
+                   it (worker: thread-confined to the shard's owner
+                   thread; queue: inside the MPSC queue's own lock; lock:
+                   the mutex/condvar itself; immutable: set before
+                   start(); atomic: std::atomic; caller: externally
+                   synchronized). docs/THREADING.md explains the tags.
+
 Suppression: a finding is waived by a comment on the same line — or on
 the line(s) immediately above — of the form
 
@@ -78,6 +88,11 @@ RULES: dict[str, str] = {
     "sim-determinism": (
         "wall-clock or nondeterministic randomness in src/sim or"
         " src/conference"
+    ),
+    "runtime-owner": (
+        "mutable state in src/runtime headers must be CONFNET_GUARDED_BY a"
+        " mutex or carry a `// runtime-owner: <tag>` ownership comment"
+        " (worker|queue|lock|immutable|atomic|caller)"
     ),
 }
 
@@ -140,6 +155,35 @@ DETERMINISM_RE = re.compile(
 ALLOW_RE = re.compile(r"//\s*static_check:\s*allow\(([^)]*)\)\s*(.*)")
 
 DETERMINISM_ROOTS = ("src/sim/", "src/conference/")
+
+# runtime-owner: every `name_` member declared in a src/runtime header is
+# concurrent-adjacent state (the runtime is the one subsystem whose objects
+# are touched from multiple threads by design), so each declaration must
+# say who may touch it — either a CONFNET_GUARDED_BY annotation the clang
+# thread-safety analysis can prove, or an ownership tag the reviewer can:
+#
+#   // runtime-owner: worker      thread-confined to the shard's owner
+#   // runtime-owner: queue       protected by the MPSC queue's internals
+#   // runtime-owner: lock        a mutex/condvar (itself the protection)
+#   // runtime-owner: immutable   set before start(), never written after
+#   // runtime-owner: atomic      std::atomic with documented ordering
+#   // runtime-owner: caller      externally synchronized (see class doc)
+RUNTIME_OWNER_ROOT = "src/runtime/"
+RUNTIME_OWNER_TAGS = {
+    "worker", "queue", "lock", "immutable", "atomic", "caller",
+}
+RUNTIME_OWNER_TAG_RE = re.compile(r"//\s*runtime-owner:\s*(\S+)")
+# A member declaration: type tokens, then an identifier ending in `_`,
+# then an optional thread-safety annotation / initializer, then `;`.
+RUNTIME_MEMBER_RE = re.compile(
+    r"^\s*(?:[\w:<>,*&\[\]]+\s+)+[*&]?(\w+_)\s*"
+    r"(?:CONFNET_\w+\([^)]*\)\s*)?"
+    r"(?:=[^;]*|\{[^;]*\})?;"
+)
+# Statement keywords that can precede a `name_;`-shaped expression.
+RUNTIME_STMT_RE = re.compile(
+    r"^\s*(?:return|delete|throw|goto|co_return|co_yield|using|typedef)\b"
+)
 
 
 @dataclass
@@ -435,6 +479,44 @@ def check_determinism(sf: SourceFile, findings: list[Finding]) -> None:
             )
 
 
+def check_runtime_owner(sf: SourceFile, findings: list[Finding]) -> None:
+    if not sf.path.startswith(RUNTIME_OWNER_ROOT):
+        return
+    if not sf.path.endswith(".hpp"):
+        return  # members live in headers; .cpp locals follow normal style
+    for i, line in enumerate(sf.lines):
+        m = RUNTIME_MEMBER_RE.match(line)
+        if not m or RUNTIME_STMT_RE.match(line):
+            continue
+        if sf.allowed(i, "runtime-owner"):
+            continue
+        raw = sf.raw_lines[i]
+        if "CONFNET_GUARDED_BY" in raw or "CONFNET_PT_GUARDED_BY" in raw:
+            continue
+        tag = RUNTIME_OWNER_TAG_RE.search(raw)
+        if tag and tag.group(1) in RUNTIME_OWNER_TAGS:
+            continue
+        if tag:
+            findings.append(
+                Finding(
+                    sf.path, i + 1, "runtime-owner",
+                    f"unknown ownership tag `{tag.group(1)}` on "
+                    f"`{m.group(1)}`; use one of "
+                    f"{'|'.join(sorted(RUNTIME_OWNER_TAGS))}",
+                )
+            )
+            continue
+        findings.append(
+            Finding(
+                sf.path, i + 1, "runtime-owner",
+                f"member `{m.group(1)}` in a runtime header states no "
+                "ownership; add CONFNET_GUARDED_BY(<mu>) or "
+                "`// runtime-owner: <tag>` "
+                f"({'|'.join(sorted(RUNTIME_OWNER_TAGS))})",
+            )
+        )
+
+
 def check_bare_allows(sf: SourceFile, findings: list[Finding]) -> None:
     for lineno0, rules in sf.bare_allows():
         findings.append(
@@ -471,6 +553,7 @@ def run_rules(files: dict[str, SourceFile], engine: str) -> list[Finding]:
         check_raw_mutex(sf, findings)
         check_hot_alloc(sf, findings)
         check_determinism(sf, findings)
+        check_runtime_owner(sf, findings)
         check_bare_allows(sf, findings)
     check_audit_hooks(files, findings)
     # The libclang engine cross-checks that every CONFNET_HOT body the regex
