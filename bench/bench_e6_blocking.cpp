@@ -6,8 +6,14 @@
 // channels exhausted). The capacity component is the dynamic face of the
 // conflict-multiplicity results.
 #include "bench_common.hpp"
+#include "conference/placement.hpp"
+#include "conference/subnetwork.hpp"
+#include "min/network.hpp"
 #include "sim/erlang.hpp"
 #include "sim/replication.hpp"
+#include "switchmod/fabric_state.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace confnet {
 namespace {
@@ -58,6 +64,8 @@ std::vector<Config> configs(u32 n) {
 }
 
 void emit_tables() {
+  bench::Report::instance().set_backend(
+      std::string(util::simd::active_backend_name()));
   bench::print_header(
       "E6", "Figure 5 (blocking probability vs offered load, N=64)",
       "How often are conference requests refused, and is the refusal due to "
@@ -145,6 +153,87 @@ void BM_TeletrafficRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TeletrafficRun)->DenseRange(4, 8, 2)->Unit(benchmark::kMillisecond);
+
+// --- Signal-plane propagation twins --------------------------------------
+//
+// Same deterministically populated fabric, two engines: the bitset-row
+// plane (BM_PropagateSimd, whichever backend CONFNET_SIMD / autodetect
+// resolved — see the label) against the retained set-based oracle
+// (BM_PropagateReference). The fan-op counters are seed-determined and
+// must be byte-identical across backends; only the wall time may differ.
+
+std::vector<u32> populate_propagation_state(sw::FabricState& fabric, u32 n) {
+  util::Rng rng(20260808);
+  conf::PortPlacer placer(n, conf::PlacementPolicy::kRandom);
+  const u32 N = u32{1} << n;
+  std::vector<u32> ids;
+  for (u32 id = 0; id < N / 2; ++id) {
+    // Mixed conference sizes up to 64 members: large groups are where the
+    // two engines diverge (set merges scale with membership, row ORs with
+    // padded words), small ones keep the sweep scaffolding honest.
+    const u32 size =
+        2 + static_cast<u32>(rng.below(std::min(N / 4, u32{63})));
+    auto ports = placer.place(size, rng);
+    if (!ports) break;
+    sw::GroupRealization g;
+    g.id = id;
+    g.links = conf::all_pairs_links(Kind::kIndirectCube, n, *ports);
+    g.members = std::move(*ports);
+    if (!fabric.try_add(std::move(g))) break;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void report_propagation_counters(benchmark::State& state,
+                                 const sw::FabricState& fabric,
+                                 const std::vector<u32>& ids) {
+  std::uint64_t fan_in = 0;
+  std::uint64_t fan_out = 0;
+  for (u32 id : ids) {
+    const sw::PropagationResult ref = fabric.propagate_reference(id);
+    fan_in += ref.fan_in_ops;
+    fan_out += ref.fan_out_ops;
+  }
+  state.SetLabel(util::simd::active_backend_name());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ids.size()));
+  state.counters["groups"] = static_cast<double>(ids.size());
+  state.counters["fan_in_ops"] = static_cast<double>(fan_in);
+  state.counters["fan_out_ops"] = static_cast<double>(fan_out);
+}
+
+void BM_PropagateSimd(benchmark::State& state) {
+  const u32 n = static_cast<u32>(state.range(0));
+  const min::Network net = min::make_network(Kind::kIndirectCube, n);
+  sw::FabricState fabric(net, sw::FabricConfig{u32{1} << n, true, true});
+  const std::vector<u32> ids = populate_propagation_state(fabric, n);
+  for (auto _ : state) {
+    fabric.invalidate_signal_caches();
+    bool ok = fabric.delivery_ok();
+    benchmark::DoNotOptimize(ok);
+  }
+  report_propagation_counters(state, fabric, ids);
+}
+BENCHMARK(BM_PropagateSimd)->DenseRange(6, 10, 2);
+
+void BM_PropagateReference(benchmark::State& state) {
+  const u32 n = static_cast<u32>(state.range(0));
+  const min::Network net = min::make_network(Kind::kIndirectCube, n);
+  sw::FabricState fabric(net, sw::FabricConfig{u32{1} << n, true, true});
+  const std::vector<u32> ids = populate_propagation_state(fabric, n);
+  for (auto _ : state) {
+    std::uint64_t violations = 0;
+    for (u32 id : ids) {
+      const sw::PropagationResult ref = fabric.propagate_reference(id);
+      violations += ref.capability_violations;
+      benchmark::DoNotOptimize(ref.delivered.data());
+    }
+    benchmark::DoNotOptimize(violations);
+  }
+  report_propagation_counters(state, fabric, ids);
+}
+BENCHMARK(BM_PropagateReference)->DenseRange(6, 10, 2);
 
 }  // namespace
 }  // namespace confnet

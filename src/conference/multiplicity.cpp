@@ -4,9 +4,13 @@
 #include <functional>
 #include <limits>
 
+#include <memory>
+
 #include "conference/subnetwork.hpp"
 #include "min/selfroute.hpp"
 #include "min/windows.hpp"
+#include "switchmod/fabric.hpp"
+#include "switchmod/fabric_state.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
 #include "util/thread_annotations.hpp"
@@ -337,15 +341,35 @@ u32 exhaustive_link_packing(Kind kind, u32 n, u32 level, u32 row) {
   return best;
 }
 
+namespace {
+/// ALL_PAIRS realization of one conference, ready for the fabric layer.
+sw::GroupRealization realize_all_pairs(Kind kind, u32 n,
+                                       const Conference& c) {
+  sw::GroupRealization g;
+  g.id = c.id();
+  g.members = c.members();
+  g.links = all_pairs_links(kind, n, c.members());
+  return g;
+}
+}  // namespace
+
 MonteCarloResult monte_carlo_multiplicity(Kind kind, u32 n,
                                           u32 conference_count, u32 min_size,
                                           u32 max_size,
                                           PlacementPolicy policy, u32 trials,
-                                          u64 seed, util::ThreadPool* pool) {
+                                          u64 seed, util::ThreadPool* pool,
+                                          bool verify_delivery) {
   expects(min_size >= 2 && min_size <= max_size,
           "conference sizes must satisfy 2 <= min <= max");
   const u32 N = u32{1} << n;
   expects(max_size <= N, "conference size beyond network");
+
+  // One shared topology for every worker's verification fabric: the lazy
+  // window tables inside min::Network are thread safe. Only built when
+  // verification is on — the plain measurement path never touches it.
+  std::unique_ptr<min::Network> net;
+  if (verify_delivery)
+    net = std::make_unique<min::Network>(min::make_topology(kind, n));
 
   // Fork every trial stream from the root RNG in serial order up front, so
   // the schedule cannot change the random sequence any trial consumes.
@@ -358,10 +382,21 @@ MonteCarloResult monte_carlo_multiplicity(Kind kind, u32 n,
     u32 peak = 0;
     u32 placement_failures = 0;
     bool counted = false;
+    bool delivery_failed = false;
   };
   std::vector<TrialOutcome> outcomes(trials);
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     MultiplicityScratch scratch;
+    // Per-worker incremental fabric with unconstrained channels: each
+    // verified trial admits its groups, checks functional delivery through
+    // the SIMD signal plane, and removes them again, so the load matrix
+    // and the plane arena are reused across the whole chunk.
+    std::unique_ptr<sw::FabricState> fabric;
+    if (net != nullptr) {
+      fabric = std::make_unique<sw::FabricState>(
+          *net, sw::FabricConfig{net->size(), true, true});
+    }
+    std::vector<u32> admitted;
     for (std::size_t t = begin; t < end; ++t) {
       util::Rng trial_rng = trial_rngs[t];
       PortPlacer placer(n, policy);
@@ -381,6 +416,20 @@ MonteCarloResult monte_carlo_multiplicity(Kind kind, u32 n,
       if (set.empty()) continue;
       out.peak = measure_multiplicity(kind, n, set, scratch).peak;
       out.counted = true;
+      if (fabric != nullptr) {
+        admitted.clear();
+        bool ok = true;
+        for (const Conference& c : set.conferences()) {
+          if (fabric->try_add(realize_all_pairs(kind, n, c))) {
+            admitted.push_back(c.id());
+          } else {
+            ok = false;  // cannot happen: disjoint members, channels = N
+          }
+        }
+        ok = ok && fabric->delivery_ok();
+        for (u32 gid : admitted) fabric->remove(gid);
+        out.delivery_failed = !ok;
+      }
     }
   };
   (pool != nullptr ? *pool : util::global_pool())
@@ -398,17 +447,21 @@ MonteCarloResult monte_carlo_multiplicity(Kind kind, u32 n,
     if (result.peak_histogram.size() <= out.peak)
       result.peak_histogram.resize(out.peak + 1, 0);
     ++result.peak_histogram[out.peak];
+    if (out.delivery_failed) ++result.delivery_failures;
   }
   return result;
 }
 
 MonteCarloResult monte_carlo_multiplicity_reference(
     Kind kind, u32 n, u32 conference_count, u32 min_size, u32 max_size,
-    PlacementPolicy policy, u32 trials, u64 seed) {
+    PlacementPolicy policy, u32 trials, u64 seed, bool verify_delivery) {
   expects(min_size >= 2 && min_size <= max_size,
           "conference sizes must satisfy 2 <= min <= max");
   const u32 N = u32{1} << n;
   expects(max_size <= N, "conference size beyond network");
+  std::unique_ptr<min::Network> net;
+  if (verify_delivery)
+    net = std::make_unique<min::Network>(min::make_topology(kind, n));
   MonteCarloResult result;
   util::Rng rng(seed);
   for (u32 t = 0; t < trials; ++t) {
@@ -433,6 +486,21 @@ MonteCarloResult monte_carlo_multiplicity_reference(
     if (result.peak_histogram.size() <= p.peak)
       result.peak_histogram.resize(p.peak + 1, 0);
     ++result.peak_histogram[p.peak];
+    if (net != nullptr) {
+      // Set-based oracle verification: one stateless Fabric::evaluate over
+      // the trial's realizations, no signal plane involved.
+      std::vector<sw::GroupRealization> groups;
+      groups.reserve(set.conferences().size());
+      for (const Conference& c : set.conferences())
+        groups.push_back(realize_all_pairs(kind, n, c));
+      const sw::Fabric oracle(*net, sw::FabricConfig{net->size(), true, true});
+      const sw::EvalReport report = oracle.evaluate(groups);
+      bool ok = report.ok();
+      for (std::size_t gi = 0; ok && gi < groups.size(); ++gi)
+        for (std::size_t mi = 0; ok && mi < groups[gi].members.size(); ++mi)
+          ok = report.delivered[gi][mi].values() == groups[gi].members;
+      if (!ok) ++result.delivery_failures;
+    }
   }
   return result;
 }

@@ -127,20 +127,30 @@ struct MonteCarloResult {
   std::vector<u32> peak_histogram;  // index = peak value
   u32 max_peak = 0;
   u32 placement_failures = 0;  // trials where placement could not fit
+  /// Trials whose realized set failed functional delivery verification
+  /// (only counted when verify_delivery is requested; 0 expected — every
+  /// ALL_PAIRS realization on a healthy fabric delivers the full set).
+  u32 delivery_failures = 0;
 };
 /// Trials fan out over `pool` (util::global_pool() when null). Every trial
 /// stream is forked from the root RNG in serial order before any work is
 /// scheduled and results merge in trial order, so the outcome is
 /// byte-identical to the serial reference for any worker count.
+/// With `verify_delivery`, every trial's conference set is additionally
+/// realized (ALL_PAIRS) in a per-worker FabricState and checked through
+/// the SIMD signal-plane engine (delivery_ok); verification consumes no
+/// randomness, so the multiplicity statistics are unchanged.
 [[nodiscard]] MonteCarloResult monte_carlo_multiplicity(
     min::Kind kind, u32 n, u32 conference_count, u32 min_size, u32 max_size,
     PlacementPolicy policy, u32 trials, u64 seed,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr, bool verify_delivery = false);
 
 /// Reference oracle: the original single-threaded loop on top of
-/// measure_multiplicity_reference.
+/// measure_multiplicity_reference. Its `verify_delivery` goes through the
+/// stateless set-based `Fabric::evaluate` instead of the signal plane.
 [[nodiscard]] MonteCarloResult monte_carlo_multiplicity_reference(
     min::Kind kind, u32 n, u32 conference_count, u32 min_size, u32 max_size,
-    PlacementPolicy policy, u32 trials, u64 seed);
+    PlacementPolicy policy, u32 trials, u64 seed,
+    bool verify_delivery = false);
 
 }  // namespace confnet::conf

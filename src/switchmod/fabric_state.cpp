@@ -1,11 +1,13 @@
 #include "switchmod/fabric_state.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <utility>
 
 #include "util/audit.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace confnet::sw {
@@ -123,6 +125,7 @@ CONFNET_HOT bool FabricState::try_add(GroupRealization group) {
   const u32 id = group.id;
   Entry& entry = slots_[occupy_slot(id)];
   entry.group = std::move(group);
+  entry.plan.built = false;
   entry.dirty = true;
   CONFNET_AUDIT_HOOK(maybe_periodic_audit());
   return true;
@@ -173,6 +176,7 @@ CONFNET_HOT void FabricState::replace(u32 id, GroupRealization group) {
     if (load-- == capacity_[level] + 1) --overflowing_;
   });
   entry.group = std::move(group);
+  entry.plan.built = false;
   entry.dirty = true;
   CONFNET_AUDIT_HOOK(maybe_periodic_audit());
 }
@@ -192,37 +196,45 @@ CONFNET_HOT void FabricState::remove(u32 id) {
   CONFNET_AUDIT_HOOK(maybe_periodic_audit());
 }
 
-std::vector<u32> FabricState::mark_link_users_dirty(u32 level, u32 row) {
-  std::vector<u32> touched;
+CONFNET_HOT const std::vector<u32>& FabricState::mark_link_users_dirty(
+    u32 level, u32 row) {
+  dirty_scratch_.clear();
   const u32 users = load_[level][row];  // one channel per group per link
-  if (users == 0) return touched;
-  touched.reserve(users);
+  if (users == 0) return dirty_scratch_;
   for (u32 id : live_ids_) {
     Entry& entry = slots_[slot_of_[id]];
     const auto& rows = entry.group.links[level];
     if (std::binary_search(rows.begin(), rows.end(), row)) {
       entry.dirty = true;
-      touched.push_back(id);
-      if (touched.size() == users) break;
+      // static_check: allow(hot-alloc) capacity reused across mutations,
+      // bounded by peak groups on one link
+      dirty_scratch_.push_back(id);
+      if (dirty_scratch_.size() == users) break;
     }
   }
-  return touched;
+  return dirty_scratch_;
 }
 
-std::vector<u32> FabricState::fail_link(u32 level, u32 row) {
+const std::vector<u32>& FabricState::fail_link(u32 level, u32 row) {
   expects(level <= net_.n() && row < net_.size(), "fail_link out of range");
-  if (faults_.is_faulty(level, row)) return {};
+  if (faults_.is_faulty(level, row)) {
+    dirty_scratch_.clear();
+    return dirty_scratch_;
+  }
   faults_.fail_link(level, row);
-  auto touched = mark_link_users_dirty(level, row);
+  const auto& touched = mark_link_users_dirty(level, row);
   CONFNET_AUDIT_HOOK(maybe_periodic_audit());
   return touched;
 }
 
-std::vector<u32> FabricState::repair_link(u32 level, u32 row) {
+const std::vector<u32>& FabricState::repair_link(u32 level, u32 row) {
   expects(level <= net_.n() && row < net_.size(), "repair_link out of range");
-  if (!faults_.is_faulty(level, row)) return {};
+  if (!faults_.is_faulty(level, row)) {
+    dirty_scratch_.clear();
+    return dirty_scratch_;
+  }
   faults_.repair_link(level, row);
-  auto touched = mark_link_users_dirty(level, row);
+  const auto& touched = mark_link_users_dirty(level, row);
   CONFNET_AUDIT_HOOK(maybe_periodic_audit());
   return touched;
 }
@@ -254,11 +266,17 @@ bool FabricState::delivery_ok() const {
   for (u32 id : live_ids_) {
     const Entry& entry = slots_[slot_of_[id]];
     if (entry.dirty) propagate(entry);
-    if (entry.capability_violations != 0) return false;
-    for (std::size_t mi = 0; mi < entry.group.members.size(); ++mi)
-      if (entry.delivered[mi].values() != entry.group.members) return false;
+    // delivered_exact is the plane engine's mask-row equality probe: true
+    // iff every output heard exactly the full member set. No per-member
+    // vector comparison on this path.
+    if (entry.capability_violations != 0 || !entry.delivered_exact)
+      return false;
   }
   return true;
+}
+
+void FabricState::invalidate_signal_caches() {
+  for (u32 id : live_ids_) slots_[slot_of_[id]].dirty = true;
 }
 
 u32 FabricState::load_at(u32 level, u32 row) const {
@@ -274,6 +292,71 @@ u32 FabricState::level_peak_load(u32 level) const {
   return peak;
 }
 
+void FabricState::build_plan(const Entry& entry) const {
+  const GroupRealization& g = entry.group;
+  const u32 n = net_.n();
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  constexpr u32 absent = PropagationPlan::kAbsent;
+  PropagationPlan& plan = entry.plan;
+
+  plan.inject.assign(g.links[0].size(), absent);
+  for (std::size_t i = 0; i < g.links[0].size(); ++i) {
+    const std::size_t mi = index_of(g.members, g.links[0][i]);
+    if (mi != npos) plan.inject[i] = static_cast<u32>(mi);
+  }
+
+  plan.preds.clear();
+  plan.pred_off.assign(n + 1, 0);
+  for (u32 level = 1; level <= n; ++level) {
+    plan.pred_off[level] = static_cast<u32>(plan.preds.size());
+    for (u32 row : g.links[level]) {
+      std::array<u32, 2> pi{absent, absent};
+      const auto qs = net_.predecessors(level, row);
+      for (std::size_t s = 0; s < qs.size(); ++s) {
+        const std::size_t idx = index_of(g.links[level - 1], qs[s]);
+        if (idx != npos) pi[s] = static_cast<u32>(idx);
+      }
+      plan.preds.push_back(pi);
+    }
+  }
+
+  plan.succs.clear();
+  plan.succ_off.assign(n, 0);
+  for (u32 level = 0; level < n; ++level) {
+    plan.succ_off[level] = static_cast<u32>(plan.succs.size());
+    for (u32 row : g.links[level]) {
+      std::array<u32, 2> si{absent, absent};
+      const auto qs = net_.successors(level, row);
+      for (std::size_t s = 0; s < qs.size(); ++s) {
+        const std::size_t idx = index_of(g.links[level + 1], qs[s]);
+        if (idx != npos) si[s] = static_cast<u32>(idx);
+      }
+      plan.succs.push_back(si);
+    }
+  }
+
+  plan.read_at.assign(g.members.size(), {0, 0});
+  if (!g.taps.empty()) {
+    expects(g.taps.size() == g.members.size(),
+            "relay taps must cover every member");
+    for (const auto& tap : g.taps) {
+      const std::size_t mi = index_of(g.members, tap.output);
+      expects(mi != npos, "tap output is not a member");
+      expects(tap.tap_level <= n, "tap level out of range");
+      const std::size_t li = index_of(g.links[tap.tap_level], tap.output);
+      expects(li != npos, "tap link is not part of the group's subnetwork");
+      plan.read_at[mi] = {tap.tap_level, static_cast<u32>(li)};
+    }
+  } else {
+    for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
+      const std::size_t li = index_of(g.links[n], g.members[mi]);
+      expects(li != npos, "member output missing from level-n links");
+      plan.read_at[mi] = {n, static_cast<u32>(li)};
+    }
+  }
+  plan.built = true;
+}
+
 void FabricState::propagate(const Entry& entry) const {
   const GroupRealization& g = entry.group;
   const u32 n = net_.n();
@@ -283,14 +366,117 @@ void FabricState::propagate(const Entry& entry) const {
   const auto dead = [&](u32 level, u32 row) {
     return degraded && faults_.is_faulty(level, row);
   };
+  if (!entry.plan.built) build_plan(entry);
+  const PropagationPlan& plan = entry.plan;
+  constexpr u32 absent = PropagationPlan::kAbsent;
 
-  std::vector<std::vector<MemberSet>> sig(n + 1);
-  for (u32 level = 0; level <= n; ++level)
-    sig[level].resize(g.links[level].size());
+  // Bitset-row layout: bit mi of a link's row = "member g.members[mi] has
+  // been heard here". Fan-in is a SIMD OR of rows, the liveness flag
+  // replaces the MemberSet::empty probe, and delivery reduces to an
+  // equality check against the full-member mask row. All neighbour
+  // positions come pre-resolved from the plan, so the sweep is straight
+  // streaming over the arena.
+  SignalPlane& plane = plane_;
+  plane.begin_group(g.links, g.members.size());
+  const auto& k = util::simd::kernels();
+  const std::size_t words = plane.words();
 
   entry.fan_in_ops = 0;
   entry.fan_out_ops = 0;
   entry.capability_violations = 0;
+
+  // Injection: a level-0 link carries its member's own signal.
+  for (std::size_t i = 0; i < g.links[0].size(); ++i) {
+    const u32 mi = plan.inject[i];
+    if (mi == absent) continue;
+    if (dead(0, g.links[0][i])) continue;
+    plane.row(0, static_cast<u32>(i))[mi >> 6] |= std::uint64_t{1}
+                                                  << (mi & 63);
+    plane.mark_live(0, static_cast<u32>(i));
+  }
+
+  // Sweep forward: each used link ORs in its used, live predecessors.
+  for (u32 level = 1; level <= n; ++level) {
+    const std::array<u32, 2>* preds = plan.preds.data() + plan.pred_off[level];
+    for (std::size_t i = 0; i < g.links[level].size(); ++i) {
+      if (dead(level, g.links[level][i])) continue;  // carries nothing
+      u32 feeding = 0;
+      std::uint64_t* out = plane.row(level, static_cast<u32>(i));
+      for (u32 pi : preds[i]) {
+        if (pi == absent) continue;
+        if (!plane.live(level - 1, pi)) continue;
+        k.or_into(out, plane.row(level - 1, pi), words);
+        ++feeding;
+      }
+      if (feeding > 0) plane.mark_live(level, static_cast<u32>(i));
+      if (feeding == 2) {
+        ++entry.fan_in_ops;
+        if (!fan_in_) ++entry.capability_violations;
+      }
+    }
+  }
+
+  // Fan-out accounting: a used link feeding both its successors.
+  for (u32 level = 0; level < n; ++level) {
+    const std::array<u32, 2>* succs = plan.succs.data() + plan.succ_off[level];
+    const std::vector<u32>& next_rows = g.links[level + 1];
+    for (std::size_t i = 0; i < g.links[level].size(); ++i) {
+      if (!plane.live(level, static_cast<u32>(i))) continue;
+      u32 fed = 0;
+      for (u32 si : succs[i]) {
+        if (si == absent) continue;
+        if (dead(level + 1, next_rows[si])) continue;  // cannot drive it
+        ++fed;
+      }
+      if (fed == 2) {
+        ++entry.fan_out_ops;
+        if (!fan_out_) ++entry.capability_violations;
+      }
+    }
+  }
+
+  // Delivery: relay taps when present, otherwise level-n member rows —
+  // both pre-resolved into plan.read_at. The mask-row equality probe feeds
+  // delivery_ok's fast path; the MemberSets are still materialized (bit
+  // mi -> g.members[mi], already sorted) for delivered()/report()
+  // consumers.
+  entry.delivered.assign(g.members.size(), MemberSet{});
+  entry.delivered_exact = true;
+  const std::uint64_t* mask = plane.mask_row();
+  for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
+    const auto [level, li] = plan.read_at[mi];
+    const std::uint64_t* src = plane.row(level, li);
+    if (!k.rows_equal(src, mask, words)) entry.delivered_exact = false;
+    std::vector<u32> heard;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = src[w];
+      while (bits != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
+        heard.push_back(g.members[w * 64 + bit]);
+        bits &= bits - 1;
+      }
+    }
+    entry.delivered[mi] = MemberSet(std::move(heard));
+  }
+  entry.dirty = false;
+}
+
+PropagationResult FabricState::propagate_reference(u32 id) const {
+  const Entry& entry = entry_of(id);
+  const GroupRealization& g = entry.group;
+  const u32 n = net_.n();
+  const bool degraded = faults_.fault_count() != 0;
+  const auto dead = [&](u32 level, u32 row) {
+    return degraded && faults_.is_faulty(level, row);
+  };
+
+  // The pre-plane engine, verbatim: one MemberSet per occupied link,
+  // fan-in via set_union. Retained as the equivalence oracle.
+  std::vector<std::vector<MemberSet>> sig(n + 1);
+  for (u32 level = 0; level <= n; ++level)
+    sig[level].resize(g.links[level].size());
+
+  PropagationResult result;
 
   // Injection: a level-0 link carries its member's own signal.
   for (std::size_t i = 0; i < g.links[0].size(); ++i) {
@@ -315,8 +501,8 @@ void FabricState::propagate(const Entry& entry) const {
         ++feeding;
       }
       if (feeding == 2) {
-        ++entry.fan_in_ops;
-        if (!fan_in_) ++entry.capability_violations;
+        ++result.fan_in_ops;
+        if (!fan_in_) ++result.capability_violations;
       }
     }
   }
@@ -334,14 +520,14 @@ void FabricState::propagate(const Entry& entry) const {
           ++fed;
       }
       if (fed == 2) {
-        ++entry.fan_out_ops;
-        if (!fan_out_) ++entry.capability_violations;
+        ++result.fan_out_ops;
+        if (!fan_out_) ++result.capability_violations;
       }
     }
   }
 
   // Delivery: relay taps when present, otherwise level-n member rows.
-  entry.delivered.assign(g.members.size(), MemberSet{});
+  result.delivered.assign(g.members.size(), MemberSet{});
   if (!g.taps.empty()) {
     expects(g.taps.size() == g.members.size(),
             "relay taps must cover every member");
@@ -352,17 +538,17 @@ void FabricState::propagate(const Entry& entry) const {
       const std::size_t li = index_of(g.links[tap.tap_level], tap.output);
       expects(li != static_cast<std::size_t>(-1),
               "tap link is not part of the group's subnetwork");
-      entry.delivered[mi] = sig[tap.tap_level][li];
+      result.delivered[mi] = sig[tap.tap_level][li];
     }
   } else {
     for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
       const std::size_t li = index_of(g.links[n], g.members[mi]);
       expects(li != static_cast<std::size_t>(-1),
               "member output missing from level-n links");
-      entry.delivered[mi] = sig[n][li];
+      result.delivered[mi] = sig[n][li];
     }
   }
-  entry.dirty = false;
+  return result;
 }
 
 EvalReport FabricState::report() const {
@@ -458,6 +644,35 @@ void FabricState::cross_check() const {
   // the degraded-evaluation fast-path gate.
   audit::require(faults_.count_consistent(), kSub,
                  "fault count diverges from the fault bitsets");
+
+  // Pin the cached SIMD-plane results (whatever backend is active) against
+  // the retained set-based path, per group: delivered sets, fan-op
+  // accounting, and the mask-row delivery probe.
+  for (u32 id : live_ids_) {
+    const Entry& entry = slots_[slot_of_[id]];
+    if (entry.dirty) propagate(entry);
+    const PropagationResult ref = propagate_reference(id);
+    audit::require(entry.delivered.size() == ref.delivered.size(), kSub,
+                   "SIMD plane output count diverges from the set-based "
+                   "reference");
+    bool ref_exact = true;
+    for (std::size_t mi = 0; mi < ref.delivered.size(); ++mi) {
+      audit::require(
+          entry.delivered[mi].values() == ref.delivered[mi].values(), kSub,
+          "SIMD plane delivered signals diverge from the set-based "
+          "reference");
+      if (ref.delivered[mi].values() != entry.group.members) ref_exact = false;
+    }
+    audit::require(entry.fan_in_ops == ref.fan_in_ops &&
+                       entry.fan_out_ops == ref.fan_out_ops &&
+                       entry.capability_violations == ref.capability_violations,
+                   kSub,
+                   "SIMD plane fan-op accounting diverges from the set-based "
+                   "reference");
+    audit::require(entry.delivered_exact == ref_exact, kSub,
+                   "mask-row delivery probe diverges from the set-based "
+                   "reference");
+  }
 
   // Full stateless evaluation with unconstrained channels: compares the
   // capacity-independent quantities (delivered signals, fan ops) on the

@@ -21,11 +21,17 @@
 //     into runtime events: fail_link/repair_link dirty only the groups on
 //     the touched link, admission refuses realizations over dead windows,
 //     and propagation treats faulty links as signal-dead.
+//   * propagation itself runs on the SignalPlane (signal_plane.hpp): each
+//     occupied link's signal is a bitset row, fan-in is a SIMD OR of two
+//     rows, and the delivery check is an equality probe against the
+//     full-member mask — backend selected at runtime via util/simd.hpp
+//     (CONFNET_SIMD=scalar|avx2|neon overrides).
 //
 // The stateless engine stays the oracle: `cross_check()` re-evaluates
 // everything through `Fabric::evaluate` and throws on any divergence, and
-// CONFNET_AUDIT builds run it periodically from the mutation hooks (see
-// audit::check_fabric_state).
+// additionally pins the SIMD plane results against the retained set-based
+// path (`propagate_reference`). CONFNET_AUDIT builds run it periodically
+// from the mutation hooks (see audit::check_fabric_state).
 #pragma once
 
 #include <cstdint>
@@ -34,6 +40,7 @@
 #include "min/faults.hpp"
 #include "min/network.hpp"
 #include "switchmod/fabric.hpp"
+#include "switchmod/signal_plane.hpp"
 #include "util/error.hpp"
 
 namespace confnet::sw {
@@ -44,6 +51,17 @@ void check_fabric_state(const sw::FabricState& state);
 }
 
 namespace confnet::sw {
+
+/// What one group's propagation produces: the delivered member set at each
+/// of its outputs plus the fan-op accounting. Returned by the retained
+/// set-based oracle (`FabricState::propagate_reference`) so tests and
+/// benchmarks can pin the SIMD plane engine against it.
+struct PropagationResult {
+  std::vector<MemberSet> delivered;
+  std::uint64_t fan_in_ops = 0;
+  std::uint64_t fan_out_ops = 0;
+  std::uint64_t capability_violations = 0;
+};
 
 class FabricState {
  public:
@@ -86,13 +104,14 @@ class FabricState {
 
   /// Mark link (level,row) faulty. Returns the ids of admitted groups whose
   /// realization uses the link, in ascending order. Idempotent: an already-
-  /// faulty link returns an empty list and changes nothing.
-  std::vector<u32> fail_link(u32 level, u32 row);
+  /// faulty link returns an empty list and changes nothing. The returned
+  /// reference aliases a scratch buffer that the next mutation overwrites.
+  const std::vector<u32>& fail_link(u32 level, u32 row);
 
   /// Repair link (level,row). Returns the ids of admitted groups whose
   /// realization uses the link (their signal caches are refreshed lazily).
-  /// Idempotent like fail_link.
-  std::vector<u32> repair_link(u32 level, u32 row);
+  /// Idempotent like fail_link; same scratch-buffer lifetime.
+  const std::vector<u32>& repair_link(u32 level, u32 row);
 
   [[nodiscard]] bool link_faulty(u32 level, u32 row) const {
     return faults_.is_faulty(level, row);
@@ -150,8 +169,21 @@ class FabricState {
   /// matrix). Not a hot path.
   [[nodiscard]] EvalReport report() const;
 
+  /// Re-propagate group `id` through the retained set-based path — the
+  /// pre-SIMD `MemberSet`/set_union sweep, kept verbatim as the equivalence
+  /// oracle for the plane engine. Stateless with respect to the lazy
+  /// caches: never reads or writes Entry::delivered. Not a hot path.
+  [[nodiscard]] PropagationResult propagate_reference(u32 id) const;
+
+  /// Drop every group's cached propagation results (marks all entries
+  /// dirty). For benchmarks and backend-switch tests that need to force a
+  /// full re-propagation without mutating the fabric.
+  void invalidate_signal_caches();
+
   /// Full stateless re-evaluation through `Fabric::evaluate`; throws
-  /// audit::AuditError on any divergence from the incremental state.
+  /// audit::AuditError on any divergence from the incremental state. Also
+  /// pins every group's cached SIMD-plane results (delivered sets, fan
+  /// ops, delivered_exact) against `propagate_reference`.
   void cross_check() const;
 
  private:
@@ -160,12 +192,46 @@ class FabricState {
   /// slot_of_ sentinel: group id not admitted.
   static constexpr u32 kNoSlot = 0xffffffffu;
 
+  /// Index-resolved traversal plan for one realization. The sweep needs,
+  /// per link row, the positions of its predecessors/successors inside the
+  /// neighbouring levels' row lists plus the injection and delivery
+  /// positions — all pure functions of the fixed topology and the group's
+  /// links, yet the set-based engine re-derived them by binary search on
+  /// every re-propagation. Resolving them once per realization turns
+  /// propagate() into straight streaming over the bitset rows. Rebuilt
+  /// lazily on first propagate after the realization is (re)assigned.
+  struct PropagationPlan {
+    static constexpr u32 kAbsent = 0xffffffffu;
+    bool built = false;
+    /// Level-0 rows: member index whose signal enters there (kAbsent for
+    /// rows that only relay).
+    std::vector<u32> inject;
+    /// Levels 1..n, level-major (offsets in pred_off): indices into the
+    /// previous level's row list, kAbsent when the predecessor link is not
+    /// part of the subnetwork.
+    std::vector<std::array<u32, 2>> preds;
+    std::vector<u32> pred_off;
+    /// Levels 0..n-1, level-major (offsets in succ_off): indices into the
+    /// next level's row list, for fan-out accounting.
+    std::vector<std::array<u32, 2>> succs;
+    std::vector<u32> succ_off;
+    /// Per member, in realization order: (level, row index) of the link
+    /// its output listens to — the relay tap when present, else level n.
+    std::vector<std::pair<u32, u32>> read_at;
+  };
+
   struct Entry {
     u32 id = 0;  // owning group id while the slot is live
     GroupRealization group;
+    /// Traversal plan for `group`; built == false forces a rebuild.
+    mutable PropagationPlan plan;
     // Lazy per-group evaluation results, valid when !dirty.
     mutable bool dirty = true;
     mutable std::vector<MemberSet> delivered;
+    /// True iff every output heard exactly the full member set — computed
+    /// by the plane engine as an equality probe against the mask row, so
+    /// delivery_ok() never re-walks the materialized MemberSets.
+    mutable bool delivered_exact = false;
     mutable std::uint64_t fan_in_ops = 0;
     mutable std::uint64_t fan_out_ops = 0;
     mutable std::uint64_t capability_violations = 0;
@@ -173,12 +239,14 @@ class FabricState {
 
   void validate_new_group(const GroupRealization& group) const;
   void apply_load(const GroupRealization& group, bool add);
+  void build_plan(const Entry& entry) const;
   void propagate(const Entry& entry) const;
   void maybe_periodic_audit();
   /// Dirty every group whose realization uses link (level,row); returns
   /// their ids in ascending order. O(groups on the link): the scan stops
-  /// once load_[level][row] users have been found.
-  std::vector<u32> mark_link_users_dirty(u32 level, u32 row);
+  /// once load_[level][row] users have been found. Writes into
+  /// dirty_scratch_ (capacity reused across mutations, CONFNET_HOT).
+  const std::vector<u32>& mark_link_users_dirty(u32 level, u32 row);
 
   /// Take a slot for a new group: recycle the most recently freed one or
   /// grow the vectors, bump its generation, and wire up slot_of_.
@@ -207,6 +275,11 @@ class FabricState {
   std::vector<int> owner_;              // port -> group id, -1 when free
   u32 overflowing_ = 0;
   u32 mutations_ = 0;  // drives the periodic CONFNET_AUDIT cross-check
+  // Bitset-row scratch arena for propagate(); holds one group at a time
+  // and grows monotonically, so steady-state propagation allocates nothing.
+  mutable SignalPlane plane_;
+  // Reused id buffer for mark_link_users_dirty (fail/repair hot path).
+  std::vector<u32> dirty_scratch_;
 };
 
 }  // namespace confnet::sw

@@ -1,0 +1,84 @@
+// Structure-of-arrays signal plane for vectorized propagation.
+//
+// `FabricState::propagate` used to carry one `MemberSet` (a sorted
+// std::vector<u32>) per occupied link and merge them with set_union — an
+// allocation and a branchy merge per fan-in. The signal plane replaces
+// that layout: each link the group occupies gets a fixed-width bitset row
+// (bit i = "member group.members[i] has been heard"), padded to the
+// 256-bit SIMD block (util/simd.hpp), with all rows of all levels packed
+// contiguously in one arena. Fan-in becomes an OR of two rows, the
+// delivery check becomes an equality probe against the precomputed
+// full-member mask row, and every sweep is a util::simd kernel call.
+//
+// Lifecycle: `begin_group` sizes the arena for one group's realization
+// (levels 0..n, links[level].size() rows each, plus the mask row), zeroes
+// the used region and the per-row live flags, and builds the mask. The
+// arena grows monotonically and is reused across groups, so steady-state
+// propagation performs no allocation. The row/flag accessors are the
+// per-link hot path and are CONFNET_HOT: allocation-free by contract,
+// enforced by tools/static_check.py.
+//
+// A SignalPlane holds scratch for ONE group at a time — exactly the shape
+// `FabricState::propagate` needs, since signals only mix within a group's
+// own links.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/simd.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace confnet::sw {
+
+class SignalPlane {
+ public:
+  using u32 = std::uint32_t;
+  using u64 = std::uint64_t;
+
+  /// Size and zero the plane for one group: one row per occupied link
+  /// (links[level] as in GroupRealization, levels 0..n) plus the mask row
+  /// with bits 0..member_bits-1 set. Reuses the arena; only grows it.
+  void begin_group(const std::vector<std::vector<u32>>& links,
+                   std::size_t member_bits);
+
+  /// Row of the i-th occupied link at `level` (index into links[level]).
+  [[nodiscard]] CONFNET_HOT u64* row(u32 level, u32 i) noexcept {
+    return arena_.data() +
+           static_cast<std::size_t>(level_offset_[level] + i) * words_;
+  }
+  [[nodiscard]] CONFNET_HOT const u64* row(u32 level, u32 i) const noexcept {
+    return arena_.data() +
+           static_cast<std::size_t>(level_offset_[level] + i) * words_;
+  }
+
+  /// A link is live once a signal reached it (set by the fan-in sweep;
+  /// level-0 rows are live on injection). Faulty links never become live.
+  [[nodiscard]] CONFNET_HOT bool live(u32 level, u32 i) const noexcept {
+    return live_[level_offset_[level] + i] != 0;
+  }
+  CONFNET_HOT void mark_live(u32 level, u32 i) noexcept {
+    live_[level_offset_[level] + i] = 1;
+  }
+
+  /// Words per row (a multiple of util::simd::kBlockWords).
+  [[nodiscard]] CONFNET_HOT std::size_t words() const noexcept {
+    return words_;
+  }
+
+  /// The full-member row: bits 0..member_bits-1 set. A delivered row equals
+  /// this iff the output heard the whole conference.
+  [[nodiscard]] CONFNET_HOT const u64* mask_row() const noexcept {
+    return arena_.data() + mask_offset_;
+  }
+
+ private:
+  std::vector<u64> arena_;          // all rows + the mask row, contiguous
+  std::vector<u32> level_offset_;   // row index of links[level][0]
+  std::vector<std::uint8_t> live_;  // per-row signal-arrived flags
+  std::size_t words_ = 0;           // words per row
+  std::size_t mask_offset_ = 0;     // word offset of the mask row
+};
+
+}  // namespace confnet::sw

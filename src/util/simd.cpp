@@ -1,0 +1,276 @@
+// SIMD backend implementations and runtime dispatch for util/simd.hpp.
+//
+// Each backend lives in this one translation unit. The AVX2 kernels use
+// function-level `__attribute__((target("avx2")))` so the rest of the
+// project compiles without -mavx2 and the vector code is only reached
+// after `__builtin_cpu_supports("avx2")` says the host can run it. NEON
+// is compile-time gated on __ARM_NEON (baseline on AArch64). The scalar
+// kernels are the oracle every other backend is tested against.
+
+#include "util/simd.hpp"
+
+#include <cstdlib>
+
+#include "util/thread_annotations.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define CONFNET_SIMD_X86 1
+#else
+#define CONFNET_SIMD_X86 0
+#endif
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define CONFNET_SIMD_NEON 1
+#else
+#define CONFNET_SIMD_NEON 0
+#endif
+
+namespace confnet::util::simd {
+namespace {
+
+// ---------------------------------------------------------------- scalar
+
+CONFNET_HOT void scalar_clear_row(u64* dst, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] = 0;
+}
+
+CONFNET_HOT void scalar_copy_row(u64* dst, const u64* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] = src[w];
+}
+
+CONFNET_HOT void scalar_or_into(u64* dst, const u64* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+CONFNET_HOT bool scalar_row_any(const u64* src, std::size_t words) {
+  u64 acc = 0;
+  for (std::size_t w = 0; w < words; ++w) acc |= src[w];
+  return acc != 0;
+}
+
+CONFNET_HOT bool scalar_rows_equal(const u64* a, const u64* b,
+                                   std::size_t words) {
+  u64 diff = 0;
+  for (std::size_t w = 0; w < words; ++w) diff |= a[w] ^ b[w];
+  return diff == 0;
+}
+
+constexpr Kernels kScalarKernels{scalar_clear_row, scalar_copy_row,
+                                 scalar_or_into, scalar_row_any,
+                                 scalar_rows_equal};
+
+// ----------------------------------------------------------------- avx2
+
+#if CONFNET_SIMD_X86
+
+CONFNET_HOT __attribute__((target("avx2"))) void avx2_clear_row(
+    u64* dst, std::size_t words) {
+  const __m256i zero = _mm256_setzero_si256();
+  for (std::size_t w = 0; w < words; w += kBlockWords) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), zero);
+  }
+}
+
+CONFNET_HOT __attribute__((target("avx2"))) void avx2_copy_row(
+    u64* dst, const u64* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; w += kBlockWords) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), v);
+  }
+}
+
+CONFNET_HOT __attribute__((target("avx2"))) void avx2_or_into(
+    u64* dst, const u64* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; w += kBlockWords) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_or_si256(a, b));
+  }
+}
+
+CONFNET_HOT __attribute__((target("avx2"))) bool avx2_row_any(
+    const u64* src, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  for (std::size_t w = 0; w < words; w += kBlockWords) {
+    acc = _mm256_or_si256(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w)));
+  }
+  return _mm256_testz_si256(acc, acc) == 0;
+}
+
+CONFNET_HOT __attribute__((target("avx2"))) bool avx2_rows_equal(
+    const u64* a, const u64* b, std::size_t words) {
+  __m256i diff = _mm256_setzero_si256();
+  for (std::size_t w = 0; w < words; w += kBlockWords) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    diff = _mm256_or_si256(diff, _mm256_xor_si256(va, vb));
+  }
+  return _mm256_testz_si256(diff, diff) != 0;
+}
+
+constexpr Kernels kAvx2Kernels{avx2_clear_row, avx2_copy_row, avx2_or_into,
+                               avx2_row_any, avx2_rows_equal};
+
+#endif  // CONFNET_SIMD_X86
+
+// ----------------------------------------------------------------- neon
+
+#if CONFNET_SIMD_NEON
+
+CONFNET_HOT void neon_clear_row(u64* dst, std::size_t words) {
+  const uint64x2_t zero = vdupq_n_u64(0);
+  for (std::size_t w = 0; w < words; w += 2) vst1q_u64(dst + w, zero);
+}
+
+CONFNET_HOT void neon_copy_row(u64* dst, const u64* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; w += 2) {
+    vst1q_u64(dst + w, vld1q_u64(src + w));
+  }
+}
+
+CONFNET_HOT void neon_or_into(u64* dst, const u64* src, std::size_t words) {
+  for (std::size_t w = 0; w < words; w += 2) {
+    vst1q_u64(dst + w, vorrq_u64(vld1q_u64(dst + w), vld1q_u64(src + w)));
+  }
+}
+
+CONFNET_HOT bool neon_row_any(const u64* src, std::size_t words) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  for (std::size_t w = 0; w < words; w += 2) {
+    acc = vorrq_u64(acc, vld1q_u64(src + w));
+  }
+  return (vgetq_lane_u64(acc, 0) | vgetq_lane_u64(acc, 1)) != 0;
+}
+
+CONFNET_HOT bool neon_rows_equal(const u64* a, const u64* b,
+                                 std::size_t words) {
+  uint64x2_t diff = vdupq_n_u64(0);
+  for (std::size_t w = 0; w < words; w += 2) {
+    diff = vorrq_u64(diff, veorq_u64(vld1q_u64(a + w), vld1q_u64(b + w)));
+  }
+  return (vgetq_lane_u64(diff, 0) | vgetq_lane_u64(diff, 1)) == 0;
+}
+
+constexpr Kernels kNeonKernels{neon_clear_row, neon_copy_row, neon_or_into,
+                               neon_row_any, neon_rows_equal};
+
+#endif  // CONFNET_SIMD_NEON
+
+// ------------------------------------------------------------- dispatch
+
+const Kernels* kernel_table(Backend backend) noexcept {
+  switch (backend) {
+#if CONFNET_SIMD_X86
+    case Backend::kAvx2:
+      return &kAvx2Kernels;
+#endif
+#if CONFNET_SIMD_NEON
+    case Backend::kNeon:
+      return &kNeonKernels;
+#endif
+    default:
+      return &kScalarKernels;
+  }
+}
+
+Backend detect_backend() noexcept {
+#if CONFNET_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+#endif
+#if CONFNET_SIMD_NEON
+  return Backend::kNeon;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+Backend choose_backend() noexcept {
+  const char* env = std::getenv("CONFNET_SIMD");
+  if (env != nullptr && *env != '\0') {
+    const auto requested = backend_from_name(env);
+    // Known-but-unavailable falls back to scalar so a forced-scalar or
+    // forced-avx2 CI leg never silently runs the autodetected backend;
+    // an unknown spelling keeps autodetection.
+    if (requested.has_value()) {
+      return backend_available(*requested) ? *requested : Backend::kScalar;
+    }
+  }
+  return detect_backend();
+}
+
+// Written once at first use (or by force_backend, which is test-only and
+// externally synchronized), read on every kernels() call.
+struct Dispatch {
+  Backend backend;
+  const Kernels* table;
+};
+
+Dispatch& dispatch() noexcept {
+  static Dispatch state = [] {
+    const Backend chosen = choose_backend();
+    return Dispatch{chosen, kernel_table(chosen)};
+  }();
+  return state;
+}
+
+}  // namespace
+
+bool backend_available(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if CONFNET_SIMD_X86
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+      return CONFNET_SIMD_NEON != 0;
+  }
+  return false;
+}
+
+Backend active_backend() noexcept { return dispatch().backend; }
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+const char* active_backend_name() noexcept {
+  return backend_name(active_backend());
+}
+
+std::optional<Backend> backend_from_name(std::string_view name) noexcept {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "neon") return Backend::kNeon;
+  return std::nullopt;
+}
+
+bool force_backend(Backend backend) noexcept {
+  if (!backend_available(backend)) return false;
+  dispatch() = Dispatch{backend, kernel_table(backend)};
+  return true;
+}
+
+const Kernels& kernels() noexcept { return *dispatch().table; }
+
+}  // namespace confnet::util::simd

@@ -1,0 +1,80 @@
+// Portable SIMD kernels for bitset-row signal propagation.
+//
+// The signal plane (switchmod/signal_plane.hpp) stores every link's
+// delivered signal as a fixed-width row of 64-bit words, padded to the
+// 256-bit block size so one AVX2 register (or two NEON registers) covers a
+// whole block. The kernels here are the only code that touches rows
+// word-by-word: bulk clear/copy, the fan-in OR-reduction, emptiness and
+// equality probes. Three backends implement the same contract —
+//
+//   scalar  plain u64 loops, always available, the equivalence oracle;
+//   avx2    256-bit vpor/vptest via function-level `target("avx2")`, so no
+//           global -mavx2 is required; selected when CPUID reports AVX2;
+//   neon    128-bit vorrq/vmaxvq on AArch64 (or ARMv7 with NEON hwcap).
+//
+// Backend selection happens once, at first use: the CONFNET_SIMD
+// environment variable ("scalar" | "avx2" | "neon") overrides the
+// autodetected best backend (a requested-but-unavailable backend falls
+// back to scalar so forced-backend CI legs run everywhere; an unknown
+// value keeps autodetection). Tests may re-point the dispatch table with
+// `force_backend`; that call is externally synchronized (test-only, before
+// worker threads exist). Every kernel is CONFNET_HOT: allocation-free by
+// contract, enforced by tools/static_check.py's hot-alloc rule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace confnet::util::simd {
+
+using u64 = std::uint64_t;
+
+/// Rows are padded to whole 256-bit blocks (4 words): one AVX2 vector, two
+/// NEON vectors, four scalar words per block.
+inline constexpr std::size_t kBlockBits = 256;
+inline constexpr std::size_t kBlockWords = kBlockBits / 64;
+
+/// Words needed for a `bits`-wide row, padded to the block size.
+[[nodiscard]] constexpr std::size_t padded_words(std::size_t bits) noexcept {
+  return ((bits + kBlockBits - 1) / kBlockBits) * kBlockWords;
+}
+
+enum class Backend : std::uint8_t { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// The kernel contract. `words` is always a multiple of kBlockWords and
+/// every pointer is a row start; rows never alias unless identical (the
+/// fan-in sweep ORs distinct predecessor rows into a distinct output row).
+struct Kernels {
+  void (*clear_row)(u64* dst, std::size_t words);
+  void (*copy_row)(u64* dst, const u64* src, std::size_t words);
+  void (*or_into)(u64* dst, const u64* src, std::size_t words);
+  bool (*row_any)(const u64* src, std::size_t words);
+  bool (*rows_equal)(const u64* a, const u64* b, std::size_t words);
+};
+
+/// True iff the backend's kernels can run on this machine.
+[[nodiscard]] bool backend_available(Backend backend) noexcept;
+
+/// The backend the dispatch table currently points at.
+[[nodiscard]] Backend active_backend() noexcept;
+
+[[nodiscard]] const char* backend_name(Backend backend) noexcept;
+
+/// Name of the active backend ("scalar" | "avx2" | "neon").
+[[nodiscard]] const char* active_backend_name() noexcept;
+
+/// Parse a backend name (the CONFNET_SIMD spelling); nullopt when unknown.
+[[nodiscard]] std::optional<Backend> backend_from_name(
+    std::string_view name) noexcept;
+
+/// Re-point the dispatch table (tests and benchmarks only; externally
+/// synchronized). Returns false — and changes nothing — when the backend
+/// is unavailable on this machine.
+bool force_backend(Backend backend) noexcept;
+
+/// The active dispatch table. First call applies CONFNET_SIMD.
+[[nodiscard]] const Kernels& kernels() noexcept;
+
+}  // namespace confnet::util::simd

@@ -1,0 +1,136 @@
+// util::simd backend registry and kernel equivalence: every available
+// backend must compute bit-identical results to the scalar oracle on
+// randomized rows, and the dispatch table must honor force_backend with
+// clean restore semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace confnet {
+namespace {
+
+namespace simd = util::simd;
+using u64 = std::uint64_t;
+
+/// Restore the entry dispatch backend on scope exit so tests cannot leak a
+/// forced backend into each other.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(simd::active_backend()) {}
+  ~BackendGuard() { simd::force_backend(saved_); }
+
+ private:
+  simd::Backend saved_;
+};
+
+std::vector<u64> random_row(util::Rng& rng, std::size_t words) {
+  std::vector<u64> row(words);
+  for (auto& w : row)
+    w = (static_cast<u64>(rng.below(1u << 30)) << 34) ^
+        (static_cast<u64>(rng.below(1u << 30)) << 13) ^
+        static_cast<u64>(rng.below(1u << 30));
+  return row;
+}
+
+TEST(SimdRegistry, PaddedWordsRoundsUpToBlocks) {
+  EXPECT_EQ(simd::padded_words(1), simd::kBlockWords);
+  EXPECT_EQ(simd::padded_words(64), simd::kBlockWords);
+  EXPECT_EQ(simd::padded_words(256), simd::kBlockWords);
+  EXPECT_EQ(simd::padded_words(257), 2 * simd::kBlockWords);
+  EXPECT_EQ(simd::padded_words(512), 2 * simd::kBlockWords);
+  EXPECT_EQ(simd::padded_words(513), 3 * simd::kBlockWords);
+}
+
+TEST(SimdRegistry, NamesRoundTrip) {
+  for (simd::Backend b : {simd::Backend::kScalar, simd::Backend::kAvx2,
+                          simd::Backend::kNeon}) {
+    const auto parsed = simd::backend_from_name(simd::backend_name(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(simd::backend_from_name("sse9").has_value());
+  EXPECT_FALSE(simd::backend_from_name("").has_value());
+}
+
+TEST(SimdRegistry, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(simd::backend_available(simd::Backend::kScalar));
+  // The active backend is by definition an available one.
+  EXPECT_TRUE(simd::backend_available(simd::active_backend()));
+}
+
+TEST(SimdRegistry, ForceBackendSwitchesAndRejectsUnavailable) {
+  BackendGuard guard;
+  ASSERT_TRUE(simd::force_backend(simd::Backend::kScalar));
+  EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+  EXPECT_STREQ(simd::active_backend_name(), "scalar");
+  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (simd::backend_available(b)) {
+      EXPECT_TRUE(simd::force_backend(b));
+      EXPECT_EQ(simd::active_backend(), b);
+    } else {
+      // Refused, and the active backend is untouched.
+      const simd::Backend before = simd::active_backend();
+      EXPECT_FALSE(simd::force_backend(b));
+      EXPECT_EQ(simd::active_backend(), before);
+    }
+  }
+}
+
+class SimdKernelEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  util::Rng rng_{GetParam()};
+};
+
+TEST_P(SimdKernelEquivalence, AllBackendsMatchScalar) {
+  BackendGuard guard;
+  ASSERT_TRUE(simd::force_backend(simd::Backend::kScalar));
+  const simd::Kernels scalar = simd::kernels();
+
+  for (simd::Backend b : {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (!simd::backend_available(b)) continue;
+    ASSERT_TRUE(simd::force_backend(b));
+    const simd::Kernels& k = simd::kernels();
+    for (std::size_t blocks : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                               std::size_t{7}}) {
+      const std::size_t words = blocks * simd::kBlockWords;
+      for (int trial = 0; trial < 16; ++trial) {
+        const std::vector<u64> a = random_row(rng_, words);
+        const std::vector<u64> src = random_row(rng_, words);
+
+        std::vector<u64> got = a;
+        std::vector<u64> want = a;
+        k.or_into(got.data(), src.data(), words);
+        scalar.or_into(want.data(), src.data(), words);
+        EXPECT_EQ(got, want) << simd::backend_name(b) << " words=" << words;
+
+        k.copy_row(got.data(), src.data(), words);
+        EXPECT_EQ(got, src);
+        EXPECT_EQ(k.rows_equal(got.data(), src.data(), words),
+                  scalar.rows_equal(got.data(), src.data(), words));
+        EXPECT_TRUE(k.rows_equal(got.data(), src.data(), words));
+
+        // Flip one bit: equality must break exactly like scalar says.
+        const std::size_t w = rng_.below(words);
+        got[w] ^= u64{1} << rng_.below(64);
+        EXPECT_EQ(k.rows_equal(got.data(), src.data(), words),
+                  scalar.rows_equal(got.data(), src.data(), words));
+        EXPECT_FALSE(k.rows_equal(got.data(), src.data(), words));
+
+        EXPECT_EQ(k.row_any(a.data(), words), scalar.row_any(a.data(), words));
+        k.clear_row(got.data(), words);
+        EXPECT_FALSE(k.row_any(got.data(), words));
+        EXPECT_EQ(got, std::vector<u64>(words, 0));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdKernelEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 17u, 1234u));
+
+}  // namespace
+}  // namespace confnet

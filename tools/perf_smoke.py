@@ -2,7 +2,7 @@
 """Run the hot-path benchmark sections and merge them into one artifact.
 
 Usage:
-    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr7.json]
+    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr8.json]
         [--min-time SECONDS]
 
 Runs the BM_* timing sections of the benchmark binaries that cover the
@@ -19,7 +19,11 @@ optimized hot paths:
     BM_TeletrafficAdmission (end-to-end DES admission, serial vs batched);
   * bench_e15_runtime — BM_RuntimeChurn at --workers 1,2,4 (thread-per-
     shard concurrent runtime over 4 shards; the admitted/blocked counters
-    are worker-count invariant and gated, wall time is the scaling curve).
+    are worker-count invariant and gated, wall time is the scaling curve);
+  * bench_e6_blocking — BM_PropagateSimd (bitset-row signal plane, label =
+    resolved backend) vs BM_PropagateReference (retained set-based oracle)
+    over one deterministically populated fabric; the fan-op counters are
+    seed-determined and identical across backends.
 
 Each binary writes a native google-benchmark JSON file; the tool merges
 them into one document whose top-level "benchmarks" array carries
@@ -27,7 +31,7 @@ binary-prefixed names ("bench_e2_multiplicity/BM_MeasureMultiplicity/6"),
 ready for tools/compare_bench.py's timing section:
 
     python3 tools/perf_smoke.py --out BENCH_new.json
-    python3 tools/compare_bench.py BENCH_pr7.json BENCH_new.json --warn-only
+    python3 tools/compare_bench.py BENCH_pr8.json BENCH_new.json --warn-only
 
 Exit status: 0 = all binaries ran, 1 = a binary failed, 2 = usage error.
 """
@@ -51,6 +55,7 @@ TARGETS = (
     ("bench_e8_latency", "BM_SteadyStateEventRate", ()),
     ("bench_e14_admission", "BM_", ()),
     ("bench_e15_runtime", "BM_RuntimeChurn", ("--workers=1,2,4",)),
+    ("bench_e6_blocking", "BM_Propagate", ()),
 )
 
 SEARCH_DIRS = ("build/bench", "build/release/bench")
@@ -90,7 +95,7 @@ def main() -> int:
     parser.add_argument("--build-dir", type=Path, default=None,
                         help="build tree holding bench/ (default: search "
                              f"{', '.join(SEARCH_DIRS)})")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr7.json"))
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr8.json"))
     parser.add_argument("--min-time", type=float, default=0.0,
                         help="--benchmark_min_time per benchmark (seconds); "
                              "0 keeps the google-benchmark default")

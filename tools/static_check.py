@@ -15,8 +15,13 @@ installed). Enforces the repo-specific rules that the compiler cannot:
 
   hot-alloc        Functions marked CONFNET_HOT (the allocation-free
                    kernels: measure_multiplicity, FabricState mutation
-                   deltas, the HierBitset placers) must not heap-allocate
-                   or grow containers in their bodies.
+                   deltas, the HierBitset placers, the util::simd
+                   backends and the SignalPlane row accessors) must not
+                   heap-allocate or grow containers in their bodies.
+                   HOT_CONTRACT below additionally pins the functions
+                   that MUST carry the marker — dropping CONFNET_HOT from
+                   a listed kernel (or renaming it without updating the
+                   table) is itself a finding, so coverage cannot rot.
 
   audit-hook       Every mutating public method of an audited subsystem
                    (the contract table below) runs its CONFNET_AUDIT_HOOK
@@ -128,6 +133,31 @@ AUDIT_CONTRACT: dict[str, list[str]] = {
     "EnhancedCubeNetwork": [
         "setup", "teardown", "add_member", "remove_member",
         "fail_link", "repair_link",
+    ],
+}
+
+# The hot-coverage contract: every listed function in the named file must
+# be marked CONFNET_HOT (the marker on its own line or at the head of the
+# definition line), which puts its body under the hot-alloc scan above.
+# Listing a function that no longer exists is an error, mirroring
+# AUDIT_CONTRACT's staleness rule.
+HOT_CONTRACT: dict[str, list[str]] = {
+    # SIMD kernel backends: every per-row primitive of every backend.
+    "src/util/simd.cpp": [
+        "scalar_clear_row", "scalar_copy_row", "scalar_or_into",
+        "scalar_row_any", "scalar_rows_equal",
+        "avx2_clear_row", "avx2_copy_row", "avx2_or_into",
+        "avx2_row_any", "avx2_rows_equal",
+        "neon_clear_row", "neon_copy_row", "neon_or_into",
+        "neon_row_any", "neon_rows_equal",
+    ],
+    # SignalPlane per-link row accessors (the propagate inner loop).
+    "src/switchmod/signal_plane.hpp": [
+        "row", "live", "mark_live", "words", "mask_row",
+    ],
+    # Fail/repair fast path: dirties link users via the reused scratch.
+    "src/switchmod/fabric_state.cpp": [
+        "mark_link_users_dirty",
     ],
 }
 
@@ -411,6 +441,52 @@ def check_hot_alloc(
         scan_hot_body(sf, extent[0], extent[1], findings)
 
 
+def check_hot_contract(
+    files: dict[str, SourceFile], findings: list[Finding]
+) -> None:
+    for rel, names in HOT_CONTRACT.items():
+        sf = files.get(rel)
+        if sf is None:
+            findings.append(
+                Finding(
+                    "tools/static_check.py", 1, "hot-alloc",
+                    f"HOT_CONTRACT lists {rel} but the file does not exist "
+                    "— update the table after moves/renames",
+                )
+            )
+            continue
+        for name in names:
+            name_re = re.compile(rf"\b{name}\s*\(")
+            decl_lines = [
+                i for i, line in enumerate(sf.lines) if name_re.search(line)
+            ]
+            if not decl_lines:
+                findings.append(
+                    Finding(
+                        sf.path, 1, "hot-alloc",
+                        f"HOT_CONTRACT lists {name} but no definition was "
+                        "found — update the table after renames",
+                    )
+                )
+                continue
+            # The marker sits on the definition line or within the few
+            # preceding lines (attribute stacks / return types wrap).
+            def marked(i: int) -> bool:
+                lo = max(0, i - 3)
+                return any(
+                    "CONFNET_HOT" in sf.lines[j] for j in range(lo, i + 1)
+                )
+
+            if not any(marked(i) for i in decl_lines):
+                findings.append(
+                    Finding(
+                        sf.path, decl_lines[0] + 1, "hot-alloc",
+                        f"{name} is under the hot-coverage contract but is "
+                        "not marked CONFNET_HOT",
+                    )
+                )
+
+
 def find_method_definition(
     sf: SourceFile, cls: str, method: str
 ) -> tuple[int, int, int] | None:
@@ -556,6 +632,7 @@ def run_rules(files: dict[str, SourceFile], engine: str) -> list[Finding]:
         check_runtime_owner(sf, findings)
         check_bare_allows(sf, findings)
     check_audit_hooks(files, findings)
+    check_hot_contract(files, findings)
     # The libclang engine cross-checks that every CONFNET_HOT body the regex
     # engine scanned is a real function definition (guards against brace
     # mismatches in heavily macro'd code).
