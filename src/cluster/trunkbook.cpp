@@ -1,0 +1,77 @@
+#include "cluster/trunkbook.hpp"
+
+#include <algorithm>
+
+namespace confnet::cluster {
+
+TrunkBook::TrunkBook(u32 shards, u32 lanes_per_pair)
+    : shards_(shards), lanes_(lanes_per_pair) {
+  expects(shards >= 1, "trunk book needs at least one shard");
+  used_.assign(pair_count(), 0);
+  faulty_.assign(pair_count(), false);
+}
+
+u32 TrunkBook::pair_index(u32 a, u32 b) const {
+  expects(a != b && a < shards_ && b < shards_, "bad trunk pair");
+  if (a > b) std::swap(a, b);
+  // Lexicographic rank of (a,b), a < b: all pairs starting below a, then
+  // the offset of b inside a's run.
+  return a * (2 * shards_ - a - 1) / 2 + (b - a - 1);
+}
+
+u32 TrunkBook::used(u32 a, u32 b) const { return used_[pair_index(a, b)]; }
+
+bool TrunkBook::faulty(u32 a, u32 b) const {
+  return faulty_[pair_index(a, b)];
+}
+
+bool TrunkBook::can_reserve_mesh(const std::vector<u32>& touched) const {
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    for (std::size_t j = i + 1; j < touched.size(); ++j) {
+      const u32 p = pair_index(touched[i], touched[j]);
+      if (faulty_[p] || used_[p] >= lanes_) return false;
+    }
+  }
+  return true;
+}
+
+bool TrunkBook::reserve_mesh(const std::vector<u32>& touched) {
+  if (!can_reserve_mesh(touched)) return false;
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    for (std::size_t j = i + 1; j < touched.size(); ++j) {
+      const u32 p = pair_index(touched[i], touched[j]);
+      ++used_[p];
+      ++reserved_;
+      ++acquires_;
+      peak_ = std::max(peak_, used_[p]);
+    }
+  }
+  return true;
+}
+
+void TrunkBook::release_mesh(const std::vector<u32>& touched) {
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    for (std::size_t j = i + 1; j < touched.size(); ++j) {
+      const u32 p = pair_index(touched[i], touched[j]);
+      expects(used_[p] > 0 && reserved_ > 0, "trunk lane double release");
+      --used_[p];
+      --reserved_;
+    }
+  }
+}
+
+bool TrunkBook::fail_pair(u32 a, u32 b) {
+  const u32 p = pair_index(a, b);
+  if (faulty_[p]) return false;
+  faulty_[p] = true;
+  return true;
+}
+
+bool TrunkBook::repair_pair(u32 a, u32 b) {
+  const u32 p = pair_index(a, b);
+  if (!faulty_[p]) return false;
+  faulty_[p] = false;
+  return true;
+}
+
+}  // namespace confnet::cluster

@@ -120,6 +120,9 @@ class SessionManager {
   }
   [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
   [[nodiscard]] ConferenceNetworkBase& network() noexcept { return network_; }
+  [[nodiscard]] const ConferenceNetworkBase& network() const noexcept {
+    return network_;
+  }
 
  private:
   friend void audit::check_session_manager(const ::confnet::conf::SessionManager&);

@@ -87,6 +87,9 @@ class WaitQueueManager {
   }
   [[nodiscard]] const WaitStats& wait_stats() const noexcept { return stats_; }
   [[nodiscard]] SessionManager& sessions() noexcept { return manager_; }
+  [[nodiscard]] const SessionManager& sessions() const noexcept {
+    return manager_;
+  }
 
  private:
   friend void audit::check_waitqueue(const ::confnet::conf::WaitQueueManager&);

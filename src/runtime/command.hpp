@@ -89,6 +89,14 @@ struct CommandResult {
   u32 torn_down = 0;        // kFailLink: sessions interrupted
   u32 recovered = 0;        // kFailLink/kRepairLink: sessions restored
   u32 pending_retries = 0;  // kFailLink: victims on the backoff path
+  /// kFailLink: victim session ids (already closed by the shard). A front
+  /// end tracking sessions by id (e.g. the cluster layer, whose spanning
+  /// legs are shard sessions) folds these into its own bookkeeping.
+  std::vector<u32> torn_sessions;
+  /// kFailLink/kRepairLink: victims restored under a fresh session id,
+  /// as (origin, replacement) pairs. The origin id is dead; the caller
+  /// rehomes its records onto the replacement.
+  std::vector<std::pair<u32, u32>> relocated;
 };
 
 /// One unit of work for a shard. Fields beyond `kind` are read per kind

@@ -232,6 +232,10 @@ void Shard::apply(Command& cmd) {
       result.torn_down = static_cast<u32>(impact.torn_down.size());
       result.recovered = static_cast<u32>(impact.recovered.size());
       result.pending_retries = static_cast<u32>(impact.retries.size());
+      result.torn_sessions = std::move(impact.torn_down);
+      result.relocated.reserve(impact.recovered.size());
+      for (const auto& r : impact.recovered)
+        result.relocated.emplace_back(r.origin, r.session);
       schedule_retries(std::move(impact.retries));
       // Teardown may have freed room for regular waiters too.
       absorb_served(result, wait_.drain(rng_));
@@ -246,6 +250,9 @@ void Shard::apply(Command& cmd) {
       stats_.served_after_wait += impact.served.size();
       stats_.recovered += impact.recovered.size();
       result.recovered = static_cast<u32>(impact.recovered.size());
+      result.relocated.reserve(impact.recovered.size());
+      for (const auto& r : impact.recovered)
+        result.relocated.emplace_back(r.origin, r.session);
       result.served = std::move(impact.served);
       break;
     }

@@ -119,4 +119,20 @@ void check_buddy_state(const std::vector<std::vector<u32>>& free_lists,
           "free-port counter disagrees with the free lists");
 }
 
+void check_trunk_accounts(const std::vector<u32>& used,
+                          const std::vector<u32>& recount, u32 lanes_per_pair,
+                          const std::vector<bool>& faulty) {
+  constexpr std::string_view kSub = "cluster";
+  require(used.size() == recount.size() && used.size() == faulty.size(), kSub,
+          "trunk ledger vectors disagree on the pair count");
+  for (std::size_t p = 0; p < used.size(); ++p) {
+    require(used[p] == recount[p], kSub,
+            "trunk lane usage disagrees with the live-span recount");
+    require(used[p] <= lanes_per_pair, kSub,
+            "trunk pair over its lane capacity");
+    require(!faulty[p] || used[p] == 0, kSub,
+            "faulty trunk pair still carries live lanes");
+  }
+}
+
 }  // namespace confnet::audit

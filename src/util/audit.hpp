@@ -39,6 +39,10 @@ class Fabric;
 class FabricState;
 struct GroupRealization;
 }
+namespace confnet::cluster {
+class Cluster;
+struct ClusterStats;
+}
 namespace confnet::conf {
 class SessionManager;
 class WaitQueueManager;
@@ -115,6 +119,21 @@ void check_ticket_queue(const std::vector<u64>& ids,
                         u64 capacity);
 void check_wait_stats(const conf::WaitStats& stats, u64 sessions_accepted);
 
+/// Trunk ledger coherence: per-pair usage equals the recount over live
+/// spanning conferences, never exceeds the per-pair lane capacity, and a
+/// faulty pair carries no live lanes (its users were torn down when it
+/// failed). `used`/`recount`/`faulty` are parallel, indexed by pair.
+void check_trunk_accounts(const std::vector<u32>& used,
+                          const std::vector<u32>& recount, u32 lanes_per_pair,
+                          const std::vector<bool>& faulty);
+
+/// Cluster admission conservation: every open lands in exactly one outcome
+/// bucket, live conferences equal accepted minus closed minus interrupted
+/// (intra and spanning separately), and two-phase rollbacks never exceed
+/// reservations.
+void check_cluster_stats(const cluster::ClusterStats& stats, u64 live_intra,
+                         u64 live_spans);
+
 /// Buddy allocator state: free lists sorted/aligned/in-range, and the free
 /// blocks plus `allocated` (base,order) blocks tile [0, 2^n) exactly once;
 /// `free_ports` equals the total size of the free blocks.
@@ -177,6 +196,14 @@ void check_direct_network(const conf::DirectConferenceNetwork& net);
 /// realization (tap level included), and active conferences are mutually
 /// link-disjoint on interstage levels — the paper's nonblocking claim.
 void check_enhanced_network(const conf::EnhancedCubeNetwork& net);
+
+/// Cluster conservation law: admission counters cohere with the live
+/// conference table (check_cluster_stats), the trunk ledger equals a
+/// recount of the live spanning meshes (check_trunk_accounts), and every
+/// live conference is well-formed (legs on distinct in-range shards,
+/// ascending; spanning iff more than one leg). Reads only coordinator-owned
+/// state — safe to run inside any cluster mutation.
+void check_cluster(const cluster::Cluster& cluster);
 
 }  // namespace confnet::audit
 

@@ -1,0 +1,442 @@
+// Functional tests of the multi-fabric cluster layer: port/trunk mapping,
+// intra- and cross-shard admission through reserve-then-commit two-phase
+// setup (commit-time trunk exhaustion rolls every shard reservation back;
+// a mid-reserve shard refusal leaves zero residue, audit-verified), fault
+// interruption over trunks and shard links, worker-count determinism of
+// the whole cluster, multi-seed delivery equivalence against the flattened
+// single-fabric oracle (cross_check), and the cluster teletraffic driver's
+// determinism and conservation accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/portmap.hpp"
+#include "cluster/trunkbook.hpp"
+#include "sim/cluster_traffic.hpp"
+#include "util/audit.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using confnet::min::u32;
+using confnet::min::u64;
+namespace cl = confnet::cluster;
+namespace audit = confnet::audit;
+namespace sim = confnet::sim;
+
+cl::ClusterConfig small_config(u32 shards = 4, u32 workers = 1) {
+  cl::ClusterConfig cfg;
+  cfg.shards = shards;
+  cfg.workers = workers;
+  cfg.stages = 4;  // 16 ports per shard
+  cfg.trunk_lanes = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::vector<cl::LegSpec> span(std::initializer_list<cl::LegSpec> legs) {
+  return std::vector<cl::LegSpec>(legs);
+}
+
+// ---------------------------------------------------------------------------
+// Port map and trunk book.
+// ---------------------------------------------------------------------------
+
+TEST(PortMap, GlobalLocalRoundTrip) {
+  const cl::PortMap map(4, 16);
+  EXPECT_EQ(map.total_ports(), 64u);
+  for (u64 g = 0; g < map.total_ports(); ++g) {
+    EXPECT_TRUE(map.contains(g));
+    EXPECT_EQ(map.global_of(map.shard_of(g), map.local_of(g)), g);
+  }
+  EXPECT_EQ(map.shard_of(17), 1u);
+  EXPECT_EQ(map.local_of(17), 1u);
+  EXPECT_FALSE(map.contains(64));
+}
+
+TEST(TrunkBook, PairIndexIsABijection) {
+  const cl::TrunkBook book(5, 1);
+  std::vector<bool> seen(book.pair_count(), false);
+  for (u32 a = 0; a < 5; ++a) {
+    for (u32 b = a + 1; b < 5; ++b) {
+      const u32 idx = book.pair_index(a, b);
+      ASSERT_LT(idx, book.pair_count());
+      EXPECT_FALSE(seen[idx]) << "pair index collision at (" << a << "," << b
+                              << ")";
+      seen[idx] = true;
+      EXPECT_EQ(book.pair_index(b, a), idx) << "index must be unordered";
+    }
+  }
+}
+
+TEST(TrunkBook, MeshReserveIsAllOrNothing) {
+  cl::TrunkBook book(4, 1);
+  ASSERT_TRUE(book.reserve_mesh({0, 1}));
+  EXPECT_EQ(book.used(0, 1), 1u);
+  // {0,1,2} needs pair (0,1) again — exhausted — so nothing else may be
+  // taken either.
+  EXPECT_FALSE(book.reserve_mesh({0, 1, 2}));
+  EXPECT_EQ(book.used(0, 2), 0u);
+  EXPECT_EQ(book.used(1, 2), 0u);
+  // A mesh avoiding the busy pair still fits.
+  ASSERT_TRUE(book.reserve_mesh({0, 2}));
+  book.release_mesh({0, 1});
+  book.release_mesh({0, 2});
+  EXPECT_EQ(book.reserved_total(), 0u);
+  EXPECT_EQ(book.lane_acquires(), 2u)
+      << "the refused mesh must not count acquisitions";
+
+  ASSERT_TRUE(book.fail_pair(1, 2));
+  EXPECT_FALSE(book.fail_pair(1, 2)) << "fail_pair must be idempotent";
+  EXPECT_FALSE(book.reserve_mesh({1, 2})) << "faulty pair must refuse lanes";
+  ASSERT_TRUE(book.repair_pair(1, 2));
+  EXPECT_TRUE(book.reserve_mesh({1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Admission: intra, spanning, and the two-phase failure paths.
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, IntraOpenCloseRoundTrip) {
+  cl::Cluster c(small_config());
+  c.start();
+  const auto r = c.open({{0, 4}});
+  ASSERT_EQ(r.result, cl::Admit::kAccepted);
+  EXPECT_EQ(c.active_conferences(), 1u);
+  EXPECT_EQ(c.active_spans(), 0u);
+  EXPECT_NO_THROW(c.cross_check());
+  EXPECT_TRUE(c.close(r.id));
+  EXPECT_FALSE(c.close(r.id)) << "closing twice must report not-live";
+  EXPECT_EQ(c.active_conferences(), 0u);
+  EXPECT_EQ(c.stats().intra_accepted, 1u);
+  EXPECT_EQ(c.stats().intra_closes, 1u);
+  EXPECT_NO_THROW(audit::check_cluster(c));
+  c.stop();
+}
+
+TEST(Cluster, SpanningConferenceReservesItsTrunkMesh) {
+  cl::Cluster c(small_config());
+  c.start();
+  const auto r = c.open(span({{0, 2}, {1, 1}, {3, 2}}));
+  ASSERT_EQ(r.result, cl::Admit::kAccepted);
+  EXPECT_EQ(c.active_spans(), 1u);
+  EXPECT_EQ(c.trunks().used(0, 1), 1u);
+  EXPECT_EQ(c.trunks().used(0, 3), 1u);
+  EXPECT_EQ(c.trunks().used(1, 3), 1u);
+  EXPECT_EQ(c.trunks().used(1, 2), 0u);
+  EXPECT_EQ(c.stats().legs_reserved, 3u);
+  EXPECT_NO_THROW(c.cross_check());
+  EXPECT_TRUE(c.close(r.id));
+  EXPECT_EQ(c.trunks().reserved_total(), 0u);
+  EXPECT_NO_THROW(audit::check_cluster(c));
+  c.stop();
+}
+
+TEST(Cluster, CommitTimeTrunkExhaustionRollsBackAllShardReservations) {
+  cl::ClusterConfig cfg = small_config();
+  cfg.trunk_lanes = 1;
+  cl::Cluster c(cfg);
+  c.start();
+  ASSERT_EQ(c.open(span({{0, 2}, {1, 2}})).result, cl::Admit::kAccepted);
+  c.drain();  // publish the burst so the baseline snapshot is current
+  const auto before = c.runtime_snapshot();
+
+  // Pair (0,1) is exhausted: both legs must be reserved, then rolled back
+  // at the trunk commit — no shard session may survive the refusal.
+  const auto r = c.open(span({{0, 3}, {1, 3}}));
+  EXPECT_EQ(r.result, cl::Admit::kBlockedTrunk);
+  c.drain();
+  const auto after = c.runtime_snapshot();
+  EXPECT_EQ(after.total.active_sessions, before.total.active_sessions)
+      << "trunk-blocked span left shard sessions behind";
+  EXPECT_EQ(c.stats().legs_rolled_back, 2u);
+  EXPECT_EQ(c.stats().span_blocked_trunk, 1u);
+  EXPECT_NO_THROW(audit::check_cluster(c));
+  EXPECT_NO_THROW(c.cross_check());
+
+  // A mesh over a free pair still commits.
+  EXPECT_EQ(c.open(span({{2, 2}, {3, 2}})).result, cl::Admit::kAccepted);
+  c.stop();
+}
+
+TEST(Cluster, MidReserveShardBlockLeavesZeroResidue) {
+  cl::ClusterConfig cfg = small_config();
+  cfg.stages = 3;  // 8 ports per shard
+  cl::Cluster c(cfg);
+  c.start();
+  // Fill shard 1 completely so its leg reservation must refuse.
+  ASSERT_EQ(c.open({{1, 8}}).result, cl::Admit::kAccepted);
+  c.drain();  // publish the burst so the baseline snapshot is current
+  const auto before = c.runtime_snapshot();
+
+  const auto r = c.open(span({{0, 2}, {1, 2}, {2, 2}}));
+  EXPECT_EQ(r.result, cl::Admit::kBlockedLocal);
+  EXPECT_EQ(r.blocked_shard, 1u);
+  c.drain();
+  const auto after = c.runtime_snapshot();
+  EXPECT_EQ(after.total.active_sessions, before.total.active_sessions)
+      << "locally-blocked span left reservations on other shards";
+  EXPECT_EQ(c.trunks().reserved_total(), 0u)
+      << "no trunk lane may be touched before every leg is granted";
+  EXPECT_EQ(c.stats().span_blocked_local, 1u);
+  EXPECT_EQ(c.stats().legs_rolled_back, c.stats().legs_reserved)
+      << "every granted leg of the failed attempt must be rolled back";
+  EXPECT_NO_THROW(audit::check_cluster(c));
+  EXPECT_NO_THROW(c.cross_check());
+  c.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Faults: trunk and shard-link interruption.
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, TrunkFaultTearsDownCrossingSpansOnly) {
+  cl::Cluster c(small_config());
+  c.start();
+  const auto crossing = c.open(span({{0, 2}, {1, 2}}));
+  const auto other = c.open(span({{2, 2}, {3, 2}}));
+  const auto intra = c.open({{0, 3}});
+  ASSERT_EQ(crossing.result, cl::Admit::kAccepted);
+  ASSERT_EQ(other.result, cl::Admit::kAccepted);
+  ASSERT_EQ(intra.result, cl::Admit::kAccepted);
+
+  const auto torn = c.fail_trunk(0, 1);
+  ASSERT_EQ(torn.size(), 1u);
+  EXPECT_EQ(torn.front(), crossing.id);
+  EXPECT_EQ(c.active_conferences(), 2u);
+  EXPECT_EQ(c.trunks().used(0, 1), 0u);
+  EXPECT_EQ(c.stats().span_interrupted, 1u);
+  EXPECT_TRUE(c.fail_trunk(0, 1).empty()) << "failing twice must be a no-op";
+  EXPECT_NO_THROW(c.cross_check());
+
+  // While faulty, a mesh over the pair is refused at commit time.
+  EXPECT_EQ(c.open(span({{0, 2}, {1, 2}})).result, cl::Admit::kBlockedTrunk);
+  ASSERT_TRUE(c.repair_trunk(0, 1));
+  EXPECT_FALSE(c.repair_trunk(0, 1));
+  EXPECT_EQ(c.open(span({{0, 2}, {1, 2}})).result, cl::Admit::kAccepted);
+  EXPECT_NO_THROW(c.cross_check());
+  c.stop();
+}
+
+TEST(Cluster, LinkFaultEitherRehomesOrTearsDownDeterministically) {
+  cl::ClusterConfig cfg = small_config();
+  cfg.dilation = 1;  // make interstage links scarce enough to matter
+  cl::Cluster c(cfg);
+  c.start();
+  std::vector<u64> opened;
+  for (u32 i = 0; i < 3; ++i) {
+    const auto r = c.open(span({{0, 2}, {1, 2}}));
+    if (r.result == cl::Admit::kAccepted) opened.push_back(r.id);
+    const auto ri = c.open({{1, 3}});
+    if (ri.result == cl::Admit::kAccepted) opened.push_back(ri.id);
+  }
+  ASSERT_FALSE(opened.empty());
+
+  u64 interrupted_total = 0;
+  for (u32 row = 0; row < 16 && interrupted_total == 0; ++row) {
+    const auto torn = c.fail_link(1, 1, row);
+    interrupted_total += torn.size();
+    // Whatever happened — rehomed legs, torn conferences, or nothing —
+    // the cluster must stay conserving and oracle-equivalent.
+    EXPECT_NO_THROW(audit::check_cluster(c));
+    EXPECT_NO_THROW(c.cross_check());
+    EXPECT_TRUE(c.repair_link(1, 1, row));
+  }
+  const auto& s = c.stats();
+  EXPECT_EQ(s.span_interrupted + s.intra_interrupted +
+                (c.active_conferences() + s.span_closes + s.intra_closes),
+            s.span_accepted + s.intra_accepted)
+      << "every accepted conference must be live, closed, or interrupted";
+  c.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and the flattened-oracle equivalence (multi-seed).
+// ---------------------------------------------------------------------------
+
+/// Deterministic mixed open/close/fault script driven by `seed`; returns
+/// the surviving conference ids.
+std::vector<u64> run_script(cl::Cluster& c, u64 seed) {
+  confnet::util::Rng rng(seed);
+  const u32 shards = c.config().shards;
+  std::vector<u64> open_ids;
+  for (int step = 0; step < 120; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.45) {
+      const u32 size = static_cast<u32>(rng.between(2, 6));
+      const auto r = c.open({{static_cast<u32>(rng.below(shards)), size}});
+      if (r.result == cl::Admit::kAccepted) open_ids.push_back(r.id);
+    } else if (roll < 0.75) {
+      const u32 a = static_cast<u32>(rng.below(shards));
+      const u32 b = (a + 1 + static_cast<u32>(rng.below(shards - 1))) % shards;
+      const auto r = c.open(span(
+          {{std::min(a, b), static_cast<u32>(rng.between(1, 3))},
+           {std::max(a, b), static_cast<u32>(rng.between(1, 3))}}));
+      if (r.result == cl::Admit::kAccepted) open_ids.push_back(r.id);
+    } else if (roll < 0.95 && !open_ids.empty()) {
+      const std::size_t pick = rng.below(open_ids.size());
+      (void)c.close(open_ids[pick]);
+      open_ids.erase(open_ids.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const u32 a = static_cast<u32>(rng.below(shards));
+      const u32 b = (a + 1) % shards;
+      const auto torn = c.fail_trunk(std::min(a, b), std::max(a, b));
+      for (const u64 id : torn)
+        open_ids.erase(std::remove(open_ids.begin(), open_ids.end(), id),
+                       open_ids.end());
+      (void)c.repair_trunk(std::min(a, b), std::max(a, b));
+    }
+  }
+  return open_ids;
+}
+
+TEST(Cluster, CrossCheckHoldsAcrossSeedsAndChurn) {
+  for (const u64 seed : {1u, 2u, 3u, 4u, 5u}) {
+    cl::Cluster c(small_config());
+    c.start();
+    (void)run_script(c, seed);
+    c.drain();
+    ASSERT_NO_THROW(c.cross_check()) << "seed " << seed;
+    ASSERT_TRUE(c.stats().consistent()) << "seed " << seed;
+    c.stop();
+  }
+}
+
+/// The cluster-visible fingerprint of a finished run; independent of the
+/// worker count by the determinism contract.
+struct Fingerprint {
+  cl::ClusterStats stats;
+  u64 reserved;
+  u64 acquires;
+  u64 live;
+  u64 spans;
+
+  bool operator==(const Fingerprint& o) const {
+    return stats.intra_opens == o.stats.intra_opens &&
+           stats.intra_accepted == o.stats.intra_accepted &&
+           stats.intra_blocked == o.stats.intra_blocked &&
+           stats.span_opens == o.stats.span_opens &&
+           stats.span_accepted == o.stats.span_accepted &&
+           stats.span_blocked_local == o.stats.span_blocked_local &&
+           stats.span_blocked_trunk == o.stats.span_blocked_trunk &&
+           stats.span_interrupted == o.stats.span_interrupted &&
+           stats.legs_reserved == o.stats.legs_reserved &&
+           stats.legs_rolled_back == o.stats.legs_rolled_back &&
+           reserved == o.reserved && acquires == o.acquires &&
+           live == o.live && spans == o.spans;
+  }
+};
+
+Fingerprint fingerprint(const cl::Cluster& c) {
+  return Fingerprint{c.stats(), c.trunks().reserved_total(),
+                     c.trunks().lane_acquires(), c.active_conferences(),
+                     c.active_spans()};
+}
+
+TEST(Cluster, OutcomesAreIndependentOfWorkerCount) {
+  std::vector<Fingerprint> prints;
+  for (const u32 workers : {1u, 2u, 4u}) {
+    cl::Cluster c(small_config(4, workers));
+    c.start();
+    (void)run_script(c, 42);
+    c.drain();
+    prints.push_back(fingerprint(c));
+    EXPECT_NO_THROW(c.cross_check());
+    c.stop();
+  }
+  EXPECT_TRUE(prints[0] == prints[1])
+      << "1-worker and 2-worker runs disagree";
+  EXPECT_TRUE(prints[0] == prints[2])
+      << "1-worker and 4-worker runs disagree";
+}
+
+// ---------------------------------------------------------------------------
+// Raw audit checker fires on corrupted trunk ledgers (negative test).
+// ---------------------------------------------------------------------------
+
+TEST(ClusterAudit, TrunkAccountCheckerFiresOnEveryCorruption) {
+  const std::vector<u32> used = {1, 0, 2};
+  const std::vector<bool> healthy = {false, false, false};
+  EXPECT_NO_THROW(audit::check_trunk_accounts(used, used, 2, healthy));
+  EXPECT_THROW(audit::check_trunk_accounts(used, {1, 0, 1}, 2, healthy),
+               audit::AuditError)
+      << "usage/recount disagreement must fire";
+  EXPECT_THROW(audit::check_trunk_accounts({3, 0, 0}, {3, 0, 0}, 2, healthy),
+               audit::AuditError)
+      << "over-capacity pair must fire";
+  EXPECT_THROW(
+      audit::check_trunk_accounts(used, used, 2, {true, false, false}),
+      audit::AuditError)
+      << "faulty pair with live lanes must fire";
+  EXPECT_THROW(audit::check_trunk_accounts(used, {1, 0}, 2, healthy),
+               audit::AuditError)
+      << "pair-count mismatch must fire";
+}
+
+// ---------------------------------------------------------------------------
+// Teletraffic driver: determinism, conservation, and fault accounting.
+// ---------------------------------------------------------------------------
+
+sim::ClusterTrafficConfig traffic_config(u64 seed) {
+  sim::ClusterTrafficConfig cfg;
+  cfg.traffic.arrival_rate = 4.0;
+  cfg.traffic.mean_holding = 2.0;
+  cfg.traffic.min_size = 2;
+  cfg.traffic.max_size = 6;
+  cfg.span_fraction = 0.4;
+  cfg.duration = 120.0;
+  cfg.warmup = 20.0;
+  cfg.seed = seed;
+  cfg.trunk_fault_rate = 0.05;
+  cfg.trunk_repair_rate = 1.0;
+  cfg.link_fault_rate = 0.05;
+  cfg.link_repair_rate = 1.0;
+  cfg.verify_functional = true;
+  cfg.verify_interval = 30.0;
+  return cfg;
+}
+
+TEST(ClusterTraffic, SameSeedReproducesTheRunExactly) {
+  std::vector<Fingerprint> prints;
+  sim::ClusterTrafficResult first{};
+  for (int rep = 0; rep < 2; ++rep) {
+    cl::Cluster c(small_config());
+    const auto r = sim::run_cluster_traffic(c, traffic_config(11));
+    EXPECT_TRUE(r.functional_ok);
+    EXPECT_TRUE(r.stats.consistent());
+    prints.push_back(fingerprint(c));
+    if (rep == 0)
+      first = r;
+    else
+      EXPECT_EQ(first.events, r.events);
+    EXPECT_NO_THROW(c.cross_check());
+    c.stop();
+  }
+  EXPECT_TRUE(prints[0] == prints[1]) << "same seed must replay exactly";
+}
+
+TEST(ClusterTraffic, SkewedRegionsAndFaultsKeepConservation) {
+  cl::Cluster c(small_config());
+  sim::ClusterTrafficConfig cfg = traffic_config(23);
+  cfg.shard_weights = {4.0, 2.0, 1.0, 1.0};  // regional port skew
+  const auto r = sim::run_cluster_traffic(c, cfg);
+  EXPECT_TRUE(r.functional_ok);
+  EXPECT_GT(r.functional_checks, 0u);
+  EXPECT_TRUE(r.stats.consistent());
+  EXPECT_EQ(r.interrupted, r.reopened + r.lost)
+      << "every fault-interrupted conference is re-admitted or lost";
+  EXPECT_GE(r.trunk_faults, r.trunk_repairs);
+  EXPECT_GE(r.stats.span_accepted, 1u);
+  // The skewed region must see more offered intra traffic than the cold
+  // ones combined would under uniform weights — sanity check the skew by
+  // admission volume on shard 0.
+  const auto snap = c.runtime_snapshot();
+  EXPECT_GT(snap.shards[0].opens, snap.shards[3].opens);
+  EXPECT_NO_THROW(c.cross_check());
+  c.stop();
+}
+
+}  // namespace

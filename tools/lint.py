@@ -61,7 +61,8 @@ PARENT_INCLUDE_RE = re.compile(r'#include\s+"\.\./')
 LOCAL_INCLUDE_RE = re.compile(r'#include\s+"([^"]+)"')
 
 # Rule 5, thread-safety half: a header is concurrency-adjacent when it
-# lives in src/runtime/ or declares synchronization / shared state.
+# lives in src/runtime/ or src/cluster/ (both sit on the concurrent
+# runtime) or declares synchronization / shared state.
 CONCURRENCY_STATE_RE = re.compile(
     r"util::Mutex\b|util::CondVar\b|CONFNET_GUARDED_BY\b|std::atomic\s*<"
 )
@@ -124,6 +125,7 @@ def check_file(path: Path, problems: list[str]) -> None:
             header_comment = "\n".join(leading)
             concurrency_adjacent = (
                 path.is_relative_to(SRC / "runtime")
+                or path.is_relative_to(SRC / "cluster")
                 or CONCURRENCY_STATE_RE.search(text)
             )
             if concurrency_adjacent and not THREAD_CONTRACT_RE.search(

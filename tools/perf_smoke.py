@@ -2,7 +2,7 @@
 """Run the hot-path benchmark sections and merge them into one artifact.
 
 Usage:
-    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr8.json]
+    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr9.json]
         [--min-time SECONDS]
 
 Runs the BM_* timing sections of the benchmark binaries that cover the
@@ -23,7 +23,10 @@ optimized hot paths:
   * bench_e6_blocking — BM_PropagateSimd (bitset-row signal plane, label =
     resolved backend) vs BM_PropagateReference (retained set-based oracle)
     over one deterministically populated fabric; the fan-op counters are
-    seed-determined and identical across backends.
+    seed-determined and identical across backends;
+  * bench_e16_cluster — BM_ClusterIntraChurn vs BM_ClusterSpanChurn at
+    --workers 1,2 (trunked multi-fabric cluster; spanning conferences pay
+    reserve-then-commit two-phase setup plus a trunk-mesh reservation).
 
 Each binary writes a native google-benchmark JSON file; the tool merges
 them into one document whose top-level "benchmarks" array carries
@@ -31,15 +34,26 @@ binary-prefixed names ("bench_e2_multiplicity/BM_MeasureMultiplicity/6"),
 ready for tools/compare_bench.py's timing section:
 
     python3 tools/perf_smoke.py --out BENCH_new.json
-    python3 tools/compare_bench.py BENCH_pr8.json BENCH_new.json --warn-only
+    python3 tools/compare_bench.py BENCH_pr9.json BENCH_new.json --warn-only
 
-Exit status: 0 = all binaries ran, 1 = a binary failed, 2 = usage error.
+Worker-count invariance is checked here, not in compare_bench.py: rows of
+the same benchmark differing only in their /workers:N suffix must report
+byte-identical user counters. A 1-core CI runner cannot verify the
+multi-worker *scaling* claim (every worker count shows the same wall
+time), but it CAN verify the determinism claim — admitted/blocked/lane
+counters independent of worker count — which needs no parallel speedup to
+observe. A divergence fails the run regardless of runner core count.
+
+Exit status: 0 = all binaries ran and the invariance check held,
+1 = a binary failed or counters diverged across worker counts,
+2 = usage error.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 import tempfile
@@ -56,9 +70,23 @@ TARGETS = (
     ("bench_e14_admission", "BM_", ()),
     ("bench_e15_runtime", "BM_RuntimeChurn", ("--workers=1,2,4",)),
     ("bench_e6_blocking", "BM_Propagate", ()),
+    ("bench_e16_cluster", "BM_Cluster", ("--workers=1,2",)),
 )
 
 SEARCH_DIRS = ("build/bench", "build/release/bench")
+
+# Google-benchmark entry members that are not user counters (mirrors
+# tools/compare_bench.py's BENCH_STANDARD_KEYS; the derived *_per_second
+# rates carry timing noise and are excluded from the invariance check).
+STANDARD_KEYS = frozenset({
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "family_index", "per_family_instance_index", "aggregate_name",
+    "aggregate_unit", "label", "big_o", "rms",
+    "items_per_second", "bytes_per_second",
+})
+
+WORKERS_RE = re.compile(r"/workers:\d+")
 
 
 def find_binary(build_dir: Path | None, name: str) -> Path | None:
@@ -89,13 +117,44 @@ def run_one(binary: Path, bench_filter: str, extra_flags: tuple[str, ...],
     return json.loads(out_path.read_text(encoding="utf-8"))
 
 
+def check_workers_invariance(benchmarks: list[dict]) -> list[str]:
+    """Group rows differing only in /workers:N; require identical counters.
+
+    Returns human-readable violation lines (empty = invariant held). This
+    is the determinism half of the multi-worker claim — checkable even on
+    a 1-core runner, where the wall-time scaling half is not.
+    """
+    groups: dict[str, dict[str, dict[str, float]]] = {}
+    for entry in benchmarks:
+        name = entry.get("name", "")
+        if entry.get("run_type") == "aggregate" or "/workers:" not in name:
+            continue
+        counters = {k: v for k, v in entry.items()
+                    if k not in STANDARD_KEYS and isinstance(v, (int, float))}
+        groups.setdefault(WORKERS_RE.sub("", name), {})[name] = counters
+    violations: list[str] = []
+    for family, rows in sorted(groups.items()):
+        if len(rows) < 2:
+            continue
+        names = sorted(rows)
+        ref_name, ref = names[0], rows[names[0]]
+        for name in names[1:]:
+            for key in sorted(set(ref) | set(rows[name])):
+                a, b = ref.get(key), rows[name].get(key)
+                if a != b:
+                    violations.append(
+                        f"{family}: counter {key} differs across worker "
+                        f"counts ({ref_name}={a!r} vs {name}={b!r})")
+    return violations
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Run hot-path benchmarks, merge into one JSON artifact.")
     parser.add_argument("--build-dir", type=Path, default=None,
                         help="build tree holding bench/ (default: search "
                              f"{', '.join(SEARCH_DIRS)})")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr8.json"))
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr9.json"))
     parser.add_argument("--min-time", type=float, default=0.0,
                         help="--benchmark_min_time per benchmark (seconds); "
                              "0 keeps the google-benchmark default")
@@ -126,10 +185,20 @@ def main() -> int:
                     entry["run_name"] = f"{name}/{entry['run_name']}"
                 merged["benchmarks"].append(entry)
 
+    violations = check_workers_invariance(merged["benchmarks"])
+    for line in violations:
+        print(f"INVARIANCE FAIL: {line}", file=sys.stderr)
+    if not violations:
+        checked = sum(
+            1 for e in merged["benchmarks"]
+            if "/workers:" in e.get("name", ""))
+        print(f"workers-invariance: {checked} multi-worker rows, "
+              "counters identical across worker counts")
+
     args.out.write_text(json.dumps(merged, indent=2) + "\n",
                         encoding="utf-8")
     print(f"wrote {len(merged['benchmarks'])} benchmark rows to {args.out}")
-    return 1 if failures else 0
+    return 1 if failures or violations else 0
 
 
 if __name__ == "__main__":

@@ -46,6 +46,14 @@ installed). Enforces the repo-specific rules that the compiler cannot:
                    start(); atomic: std::atomic; caller: externally
                    synchronized). docs/THREADING.md explains the tags.
 
+  cluster-owner    The same contract for src/cluster headers: the Cluster
+                   front object brokers coordinator-side state (trunk
+                   ledger, live-conference registry) around the concurrent
+                   runtime underneath it, so every `name_` member in a
+                   src/cluster header must carry CONFNET_GUARDED_BY(<mu>)
+                   or a `// cluster-owner: <tag>` comment with the same
+                   tag vocabulary as runtime-owner.
+
 Suppression: a finding is waived by a comment on the same line — or on
 the line(s) immediately above — of the form
 
@@ -97,6 +105,11 @@ RULES: dict[str, str] = {
     "runtime-owner": (
         "mutable state in src/runtime headers must be CONFNET_GUARDED_BY a"
         " mutex or carry a `// runtime-owner: <tag>` ownership comment"
+        " (worker|queue|lock|immutable|atomic|caller)"
+    ),
+    "cluster-owner": (
+        "mutable state in src/cluster headers must be CONFNET_GUARDED_BY a"
+        " mutex or carry a `// cluster-owner: <tag>` ownership comment"
         " (worker|queue|lock|immutable|atomic|caller)"
     ),
 }
@@ -186,23 +199,31 @@ ALLOW_RE = re.compile(r"//\s*static_check:\s*allow\(([^)]*)\)\s*(.*)")
 
 DETERMINISM_ROOTS = ("src/sim/", "src/conference/")
 
-# runtime-owner: every `name_` member declared in a src/runtime header is
-# concurrent-adjacent state (the runtime is the one subsystem whose objects
-# are touched from multiple threads by design), so each declaration must
-# say who may touch it — either a CONFNET_GUARDED_BY annotation the clang
-# thread-safety analysis can prove, or an ownership tag the reviewer can:
+# runtime-owner / cluster-owner: every `name_` member declared in a
+# src/runtime or src/cluster header is concurrent-adjacent state (the
+# runtime is the one subsystem whose objects are touched from multiple
+# threads by design, and the cluster front object brokers coordinator-side
+# ledgers around it), so each declaration must say who may touch it —
+# either a CONFNET_GUARDED_BY annotation the clang thread-safety analysis
+# can prove, or an ownership tag the reviewer can:
 #
-#   // runtime-owner: worker      thread-confined to the shard's owner
-#   // runtime-owner: queue       protected by the MPSC queue's internals
-#   // runtime-owner: lock        a mutex/condvar (itself the protection)
-#   // runtime-owner: immutable   set before start(), never written after
-#   // runtime-owner: atomic      std::atomic with documented ordering
-#   // runtime-owner: caller      externally synchronized (see class doc)
-RUNTIME_OWNER_ROOT = "src/runtime/"
+#   // <subsystem>-owner: worker      thread-confined to the shard's owner
+#   // <subsystem>-owner: queue       protected by the MPSC queue's internals
+#   // <subsystem>-owner: lock        a mutex/condvar (itself the protection)
+#   // <subsystem>-owner: immutable   set before start(), never written after
+#   // <subsystem>-owner: atomic      std::atomic with documented ordering
+#   // <subsystem>-owner: caller      externally synchronized (see class doc)
+#
+# Maps header root -> rule name; the tag spelling is `<rule>:` so a
+# src/cluster header tags with `// cluster-owner: caller` etc.
+OWNER_ROOTS = {
+    "src/runtime/": "runtime-owner",
+    "src/cluster/": "cluster-owner",
+}
 RUNTIME_OWNER_TAGS = {
     "worker", "queue", "lock", "immutable", "atomic", "caller",
 }
-RUNTIME_OWNER_TAG_RE = re.compile(r"//\s*runtime-owner:\s*(\S+)")
+OWNER_TAG_RE = re.compile(r"//\s*(?:runtime|cluster)-owner:\s*(\S+)")
 # A member declaration: type tokens, then an identifier ending in `_`,
 # then an optional thread-safety annotation / initializer, then `;`.
 RUNTIME_MEMBER_RE = re.compile(
@@ -555,27 +576,32 @@ def check_determinism(sf: SourceFile, findings: list[Finding]) -> None:
             )
 
 
-def check_runtime_owner(sf: SourceFile, findings: list[Finding]) -> None:
-    if not sf.path.startswith(RUNTIME_OWNER_ROOT):
+def check_member_ownership(sf: SourceFile, findings: list[Finding]) -> None:
+    rule = next(
+        (r for root, r in OWNER_ROOTS.items() if sf.path.startswith(root)),
+        None,
+    )
+    if rule is None:
         return
     if not sf.path.endswith(".hpp"):
         return  # members live in headers; .cpp locals follow normal style
+    subsystem = rule.removesuffix("-owner")
     for i, line in enumerate(sf.lines):
         m = RUNTIME_MEMBER_RE.match(line)
         if not m or RUNTIME_STMT_RE.match(line):
             continue
-        if sf.allowed(i, "runtime-owner"):
+        if sf.allowed(i, rule):
             continue
         raw = sf.raw_lines[i]
         if "CONFNET_GUARDED_BY" in raw or "CONFNET_PT_GUARDED_BY" in raw:
             continue
-        tag = RUNTIME_OWNER_TAG_RE.search(raw)
+        tag = OWNER_TAG_RE.search(raw)
         if tag and tag.group(1) in RUNTIME_OWNER_TAGS:
             continue
         if tag:
             findings.append(
                 Finding(
-                    sf.path, i + 1, "runtime-owner",
+                    sf.path, i + 1, rule,
                     f"unknown ownership tag `{tag.group(1)}` on "
                     f"`{m.group(1)}`; use one of "
                     f"{'|'.join(sorted(RUNTIME_OWNER_TAGS))}",
@@ -584,10 +610,10 @@ def check_runtime_owner(sf: SourceFile, findings: list[Finding]) -> None:
             continue
         findings.append(
             Finding(
-                sf.path, i + 1, "runtime-owner",
-                f"member `{m.group(1)}` in a runtime header states no "
-                "ownership; add CONFNET_GUARDED_BY(<mu>) or "
-                "`// runtime-owner: <tag>` "
+                sf.path, i + 1, rule,
+                f"member `{m.group(1)}` in a {subsystem} header states no "
+                f"ownership; add CONFNET_GUARDED_BY(<mu>) or "
+                f"`// {rule}: <tag>` "
                 f"({'|'.join(sorted(RUNTIME_OWNER_TAGS))})",
             )
         )
@@ -629,7 +655,7 @@ def run_rules(files: dict[str, SourceFile], engine: str) -> list[Finding]:
         check_raw_mutex(sf, findings)
         check_hot_alloc(sf, findings)
         check_determinism(sf, findings)
-        check_runtime_owner(sf, findings)
+        check_member_ownership(sf, findings)
         check_bare_allows(sf, findings)
     check_audit_hooks(files, findings)
     check_hot_contract(files, findings)
