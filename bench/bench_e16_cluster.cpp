@@ -1,15 +1,22 @@
-// E16: multi-fabric cluster admission throughput (PR 9 artifact).
+// E16: multi-fabric cluster admission throughput (PR 9 artifact,
+// extended by PR 10 with the span-admission fast path).
 //
-// Two questions the single-fabric experiments cannot answer:
+// Three questions the single-fabric experiments cannot answer:
 //  (1) What does cross-shard setup cost? Intra-shard admission is one
 //      command round-trip on one shard; a spanning conference is a
-//      reserve-then-commit transaction across every touched shard plus a
-//      trunk-mesh reservation. BM_ClusterIntraChurn vs BM_ClusterSpanChurn
+//      single-round optimistic claim (trunk mesh up front, one staged
+//      concurrent leg burst). BM_ClusterIntraChurn vs BM_ClusterSpanChurn
 //      at matched churn volume is that ratio, per worker count.
-//  (2) How does trunk capacity shape cross-shard blocking? The teletraffic
-//      table sweeps lanes-per-pair and separates shard-local blocking from
-//      trunk-commit blocking (the paper's blocking analysis, lifted to the
-//      trunked cluster).
+//  (2) What did the one-round protocol buy? BM_ClusterSpanChurnReference
+//      drives the identical span churn through the retained two-round
+//      reserve-then-commit oracle (admit_span_reference) — the Span vs
+//      SpanReference gap is the protocol win at equal outcomes.
+//  (3) How do trunk capacity and lane multiplexing shape cross-shard
+//      blocking? The teletraffic table sweeps lanes-per-pair crossed with
+//      conferences-per-lane and separates shard-local blocking from
+//      trunk-claim blocking (the paper's blocking analysis, lifted to the
+//      trunked cluster): at equal lanes, conferences_per_lane >= 2 must
+//      show strictly lower trunk blocking.
 //
 // Determinism contract: cluster outcomes depend only on the seed and the
 // per-shard command sequences, never on the worker count — the admission
@@ -42,13 +49,15 @@ constexpr u32 kStagesPerShard = 6;  // 4 x 64 = 256 ports
 constexpr u32 kChurnOps = 2000;
 constexpr u64 kSeed = 42;
 
-cl::ClusterConfig cluster_config(u32 workers, u32 trunk_lanes = 4) {
+cl::ClusterConfig cluster_config(u32 workers, u32 trunk_lanes = 4,
+                                 u32 conferences_per_lane = 1) {
   cl::ClusterConfig cfg;
   cfg.shards = kShards;
   cfg.workers = workers;
   cfg.stages = kStagesPerShard;
   cfg.dilation = 4;  // port-limited admission (the churn regime, as in E15)
   cfg.trunk_lanes = trunk_lanes;
+  cfg.conferences_per_lane = conferences_per_lane;
   cfg.seed = kSeed;
   return cfg;
 }
@@ -64,9 +73,13 @@ struct ChurnOutcome {
 
 /// Steady-churn workload on a started cluster: keep ~`target` conferences
 /// live, oldest-out/new-in. `span_every` > 0 makes every k-th open a
-/// spanning conference over 2-3 shards (0 = intra only). Deterministic:
-/// one seed fixes every outcome regardless of worker count.
-ChurnOutcome run_churn(cl::Cluster& c, u32 span_every) {
+/// spanning conference over 2-3 shards (0 = intra only); `reference`
+/// drives those spans through the two-round admit_span_reference oracle
+/// instead of the optimistic open() — identical accept/refuse outcomes,
+/// different protocol cost. Deterministic: one seed fixes every outcome
+/// regardless of worker count.
+ChurnOutcome run_churn(cl::Cluster& c, u32 span_every,
+                       bool reference = false) {
   util::Rng rng(kSeed);
   std::deque<u64> live;
   ChurnOutcome out;
@@ -93,7 +106,9 @@ ChurnOutcome run_churn(cl::Cluster& c, u32 span_every) {
       legs.push_back({static_cast<u32>(rng.below(kShards)),
                       2 + static_cast<u32>(rng.below(3))});
     }
-    const cl::OpenReport r = c.open(legs);
+    const cl::OpenReport r = (reference && legs.size() >= 2)
+                                 ? c.admit_span_reference(legs)
+                                 : c.open(legs);
     switch (r.result) {
       case cl::Admit::kAccepted:
         ++out.admitted;
@@ -120,8 +135,10 @@ ChurnOutcome run_churn(cl::Cluster& c, u32 span_every) {
 void emit_tables() {
   bench::print_header(
       "E16", "trunked multi-fabric cluster admission",
-      "What does cross-shard (reserve-then-commit) setup cost relative to "
-      "intra-shard admission, and how does trunk capacity shape blocking?");
+      "What does cross-shard (single-round optimistic) setup cost relative "
+      "to intra-shard admission, what did one round buy over the two-round "
+      "reference, and how do trunk capacity and lane multiplexing shape "
+      "blocking?");
 
   const std::vector<unsigned> workers = bench::parse_workers({1, 2});
 
@@ -150,54 +167,67 @@ void emit_tables() {
   }
   bench::show(t1);
 
-  // --- Table 2: blocking vs trunk capacity (teletraffic sweep) ----------
+  // --- Table 2: blocking vs trunk capacity and lane multiplexing --------
   util::Table t2(
-      "cluster teletraffic at lanes-per-pair 1..8 (seed 7, 40% spanning "
-      "arrivals, duration 200): span blocking splits into the shard-local "
-      "and trunk-commit causes; all columns deterministic (gated)",
-      {"lanes/pair", "span opens", "span admitted", "blocked local",
-       "blocked trunk", "trunk util %", "trunk peak"});
+      "cluster teletraffic at lanes-per-pair 1..8 x conferences-per-lane "
+      "1..2 (seed 7, 40% spanning arrivals, duration 200): span blocking "
+      "splits into the shard-local and trunk-claim causes; at equal lanes, "
+      "cpl=2 must block strictly less on trunks; all columns deterministic "
+      "(gated)",
+      {"lanes/pair", "conf/lane", "span opens", "span admitted",
+       "blocked local", "blocked trunk", "trunk util %", "trunk peak"});
   for (const u32 lanes : {1u, 2u, 4u, 8u}) {
-    cl::Cluster c(cluster_config(1, lanes));
-    sim::ClusterTrafficConfig cfg;
-    cfg.traffic.arrival_rate = 6.0;
-    cfg.traffic.mean_holding = 2.0;
-    cfg.traffic.min_size = 2;
-    cfg.traffic.max_size = 6;
-    cfg.span_fraction = 0.4;
-    cfg.max_span_shards = 3;
-    cfg.duration = 200.0;
-    cfg.warmup = 40.0;
-    cfg.seed = 7;
-    const sim::ClusterTrafficResult r = sim::run_cluster_traffic(c, cfg);
-    c.cross_check();
-    c.stop();
-    t2.row()
-        .cell(lanes)
-        .cell(r.stats.span_opens)
-        .cell(r.stats.span_accepted)
-        .cell(r.stats.span_blocked_local)
-        .cell(r.stats.span_blocked_trunk)
-        .cell(static_cast<u64>(r.trunk_utilization * 100.0 + 0.5))
-        .cell(r.trunk_peak);
+    for (const u32 cpl : {1u, 2u}) {
+      cl::Cluster c(cluster_config(1, lanes, cpl));
+      sim::ClusterTrafficConfig cfg;
+      cfg.traffic.arrival_rate = 6.0;
+      cfg.traffic.mean_holding = 2.0;
+      cfg.traffic.min_size = 2;
+      cfg.traffic.max_size = 6;
+      cfg.span_fraction = 0.4;
+      cfg.max_span_shards = 3;
+      cfg.duration = 200.0;
+      cfg.warmup = 40.0;
+      cfg.seed = 7;
+      const sim::ClusterTrafficResult r = sim::run_cluster_traffic(c, cfg);
+      c.cross_check();
+      c.stop();
+      t2.row()
+          .cell(lanes)
+          .cell(cpl)
+          .cell(r.stats.span_opens)
+          .cell(r.stats.span_accepted)
+          .cell(r.stats.span_blocked_local)
+          .cell(r.stats.span_blocked_trunk)
+          .cell(static_cast<u64>(r.trunk_utilization * 100.0 + 0.5))
+          .cell(r.trunk_peak);
+    }
   }
   bench::show(t2);
-  std::cout << "Timing section: BM_ClusterSpanChurn vs BM_ClusterIntraChurn\n"
-               "items_per_second is the cross-shard setup cost; counters are\n"
-               "worker-count invariant and gated (this host reports "
+  std::cout << "Timing section: BM_ClusterIntraChurn vs BM_ClusterSpanChurn\n"
+               "vs BM_ClusterSpanChurnReference — items_per_second gives the\n"
+               "cross-shard setup cost and the one-round-vs-two-round\n"
+               "protocol gap; counters are worker-count invariant and gated\n"
+               "(this host reports "
             << std::thread::hardware_concurrency()
             << " hardware threads; timings are warn-only in perf-smoke).\n\n";
 
   // Timing rows are registered here (not statically) so --workers can
   // select them; run_main calls emit_tables before benchmark::Initialize.
+  enum class Workload { kIntra, kSpan, kSpanReference };
   for (unsigned w : workers) {
-    for (const bool spanning : {false, true}) {
+    for (const Workload kind :
+         {Workload::kIntra, Workload::kSpan, Workload::kSpanReference}) {
+      const bool spanning = kind != Workload::kIntra;
+      const bool reference = kind == Workload::kSpanReference;
+      const char* base = reference      ? "BM_ClusterSpanChurnReference"
+                         : spanning     ? "BM_ClusterSpanChurn"
+                                        : "BM_ClusterIntraChurn";
       const std::string name =
-          std::string(spanning ? "BM_ClusterSpanChurn" : "BM_ClusterIntraChurn") +
-          "/workers:" + std::to_string(w);
+          std::string(base) + "/workers:" + std::to_string(w);
       ::benchmark::RegisterBenchmark(
           name.c_str(),
-          [w, spanning](::benchmark::State& state) {
+          [w, spanning, reference](::benchmark::State& state) {
             std::uint64_t ops = 0;
             ChurnOutcome out;
             for (auto _ : state) {
@@ -205,7 +235,7 @@ void emit_tables() {
               cl::Cluster c(cluster_config(static_cast<u32>(w)));
               c.start();
               state.ResumeTiming();
-              out = run_churn(c, spanning ? 4 : 0);
+              out = run_churn(c, spanning ? 4 : 0, reference);
               ops += out.ops;
               state.PauseTiming();
               c.stop();
@@ -221,8 +251,10 @@ void emit_tables() {
                 static_cast<double>(out.blocked_trunk);
             state.counters["lane_acquires"] =
                 static_cast<double>(out.lane_acquires);
-            state.SetLabel("workers=" + std::to_string(w) +
-                           (spanning ? "/mixed" : "/intra"));
+            state.SetLabel(std::string("workers=") + std::to_string(w) +
+                           (reference   ? "/mixed-reference"
+                            : spanning  ? "/mixed"
+                                        : "/intra"));
           })
           ->Unit(::benchmark::kMillisecond)
           ->MeasureProcessCPUTime()

@@ -49,6 +49,11 @@ int main(int argc, char** argv) {
   cli.add_int("stages", 4, "log2 of the per-shard port count");
   cli.add_int("workers", 2, "runtime worker threads");
   cli.add_int("trunk-lanes", 2, "trunk lanes per shard pair");
+  cli.add_int("conferences-per-lane", 1,
+              "spanning conferences multiplexed onto one trunk lane");
+  cli.add_int("retry-on-repair", 0,
+              "1 = park fault victims until the matching repair fires "
+              "(0 = legacy immediate re-offer)");
   cli.add_string("seeds", "1..8", "seed range lo..hi (or a single seed)");
   cli.add_double("span-fraction", 0.4, "fraction of arrivals spanning shards");
   cli.add_double("trunk-fault-rate", 0.1,
@@ -78,6 +83,8 @@ int main(int argc, char** argv) {
     base_cluster.workers = static_cast<min::u32>(cli.get_int("workers"));
     base_cluster.trunk_lanes =
         static_cast<min::u32>(cli.get_int("trunk-lanes"));
+    base_cluster.conferences_per_lane =
+        static_cast<min::u32>(cli.get_int("conferences-per-lane"));
 
     sim::ClusterTrafficConfig base;
     base.traffic.arrival_rate = cli.get_double("arrival-rate");
@@ -91,6 +98,7 @@ int main(int argc, char** argv) {
     base.trunk_repair_rate = cli.get_double("repair-rate");
     base.link_fault_rate = cli.get_double("link-fault-rate");
     base.link_repair_rate = cli.get_double("repair-rate");
+    base.retry_on_repair = cli.get_int("retry-on-repair") != 0;
     base.verify_functional = true;
     base.verify_interval = base.duration / 12.0;
 

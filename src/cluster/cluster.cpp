@@ -46,7 +46,8 @@ Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       map_(config.shards, u32{1} << config.stages),
       runtime_(serving_config(config)),
-      trunks_(config.shards, config.trunk_lanes) {
+      trunks_(config.shards, config.trunk_lanes,
+              config.conferences_per_lane) {
   expects(power_of_two(config.shards),
           "cluster shard count must be a power of two (the flattened "
           "oracle needs a legal 2^(stages + log2 K) network)");
@@ -74,7 +75,7 @@ OpenReport Cluster::open_intra(const LegSpec& leg) {
   runtime::Command cmd;
   cmd.kind = runtime::CommandKind::kOpen;
   cmd.size = leg.members;
-  const auto r = await(runtime_.call(leg.shard, std::move(cmd)));
+  const auto r = runtime_.call_pooled(leg.shard, std::move(cmd)).take();
 
   OpenReport report;
   if (r.status == runtime::CommandStatus::kDone &&
@@ -96,7 +97,8 @@ OpenReport Cluster::open_intra(const LegSpec& leg) {
   return report;
 }
 
-OpenReport Cluster::open_span(const std::vector<LegSpec>& legs) {
+std::vector<LegSpec> Cluster::validated_span(
+    const std::vector<LegSpec>& legs) const {
   std::vector<LegSpec> sorted(legs);
   std::sort(sorted.begin(), sorted.end(),
             [](const LegSpec& a, const LegSpec& b) { return a.shard < b.shard; });
@@ -106,12 +108,92 @@ OpenReport Cluster::open_span(const std::vector<LegSpec>& legs) {
     expects(i == 0 || sorted[i - 1].shard != sorted[i].shard,
             "spanning legs must touch distinct shards");
   }
+  return sorted;
+}
+
+OpenReport Cluster::open_span(const std::vector<LegSpec>& legs) {
+  const std::vector<LegSpec> sorted = validated_span(legs);
   ++stats_.span_opens;
 
-  // Phase 1 — reserve: open every local leg (members + the trunk relay
-  // termination port). Commands to distinct shards run concurrently; the
+  std::vector<u32> shards;
+  shards.reserve(sorted.size());
+  for (const LegSpec& leg : sorted) shards.push_back(leg.shard);
+
+  // Optimistic claim — the trunk mesh is provisionally acquired before any
+  // shard sees a command. An exhausted or faulty pair refuses the open
+  // with zero coordination rounds (and zero rollback work: no leg ever
+  // opened). The claim counts as a lane acquire even when a later leg
+  // refusal rolls it back — lane_acquires is a churn counter, not a
+  // live-lane gauge (reserved_total is).
+  if (!trunks_.reserve_mesh(shards)) {
+    ++stats_.span_blocked_trunk;
+    obs::trace_emit("cluster", "span_blocked_trunk",
+                    static_cast<double>(shards.size()));
+    CONFNET_AUDIT_HOOK(audit::check_cluster(*this));
+    return OpenReport{Admit::kBlockedTrunk, 0, 0};
+  }
+
+  // Single round — every local leg (members + the trunk relay termination
+  // port) fans out in one staged burst: one queue push per shard, one
+  // wakeup per owning worker, pooled completions instead of futures. The
   // per-shard command order stays deterministic because this coordinator
-  // is the sole producer.
+  // is the sole span producer.
+  pending_.clear();
+  for (const LegSpec& leg : sorted) {
+    runtime::Command cmd;
+    cmd.kind = runtime::CommandKind::kOpen;
+    cmd.size = leg.members + 1;  // + trunk relay termination
+    pending_.push_back(runtime_.stage_call(stage_, leg.shard, std::move(cmd)));
+  }
+  (void)runtime_.submit_stage(stage_);
+  std::vector<Leg> granted;
+  granted.reserve(sorted.size());
+  bool all_granted = true;
+  u32 blocked_shard = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const auto r = pending_[i].take();
+    if (r.status == runtime::CommandStatus::kDone &&
+        r.open.outcome == conf::RequestOutcome::kServed) {
+      granted.push_back(Leg{sorted[i].shard, *r.open.session,
+                            sorted[i].members});
+      ++stats_.legs_reserved;
+    } else if (all_granted) {
+      all_granted = false;
+      blocked_shard = sorted[i].shard;
+    }
+  }
+  pending_.clear();
+  if (!all_granted) {
+    // Settle — a shard refused its leg: close every granted leg and hand
+    // the provisional mesh back. The cluster is back to its pre-attempt
+    // state (audited below) — zero residue.
+    close_legs(granted, config_.shards);
+    stats_.legs_rolled_back += granted.size();
+    trunks_.release_mesh(shards);
+    ++stats_.span_blocked_local;
+    obs::trace_emit("cluster", "span_blocked_local",
+                    static_cast<double>(blocked_shard));
+    CONFNET_AUDIT_HOOK(audit::check_cluster(*this));
+    return OpenReport{Admit::kBlockedLocal, 0, blocked_shard};
+  }
+
+  const u64 id = next_id_++;
+  Conference c;
+  c.legs = std::move(granted);
+  c.spanning = true;
+  live_.emplace(id, std::move(c));
+  ++stats_.span_accepted;
+  obs::trace_emit("cluster", "span_open", static_cast<double>(shards.size()));
+  CONFNET_AUDIT_HOOK(audit::check_cluster(*this));
+  return OpenReport{Admit::kAccepted, id, 0};
+}
+
+OpenReport Cluster::admit_span_reference(const std::vector<LegSpec>& legs) {
+  expects(legs.size() >= 2, "admit_span_reference needs a spanning request");
+  const std::vector<LegSpec> sorted = validated_span(legs);
+  ++stats_.span_opens;
+
+  // Phase 1 — reserve: open every local leg first (the PR 9 protocol).
   std::vector<std::future<runtime::CommandResult>> futures;
   futures.reserve(sorted.size());
   for (const LegSpec& leg : sorted) {
@@ -138,8 +220,7 @@ OpenReport Cluster::open_span(const std::vector<LegSpec>& legs) {
   }
   if (!reserved) {
     // Mid-reserve block: roll every already-granted leg back. No trunk
-    // lane was touched yet, so the cluster is back to its pre-attempt
-    // state (audited below).
+    // lane was touched yet.
     for (const Leg& leg : granted) {
       close_leg(leg);
       ++stats_.legs_rolled_back;
@@ -151,8 +232,9 @@ OpenReport Cluster::open_span(const std::vector<LegSpec>& legs) {
     return OpenReport{Admit::kBlockedLocal, 0, blocked_shard};
   }
 
-  // Phase 2 — commit: the trunk mesh is the atomic commit point. An
-  // exhausted or faulty pair rolls back every shard reservation.
+  // Phase 2 — commit: the trunk mesh last. An exhausted or faulty pair
+  // rolls back every shard reservation — the second coordination round
+  // the optimistic path saves.
   std::vector<u32> shards;
   shards.reserve(granted.size());
   for (const Leg& leg : granted) shards.push_back(leg.shard);
@@ -183,7 +265,21 @@ void Cluster::close_leg(const Leg& leg) {
   runtime::Command cmd;
   cmd.kind = runtime::CommandKind::kClose;
   cmd.session = leg.session;
-  (void)await(runtime_.call(leg.shard, std::move(cmd)));
+  (void)runtime_.call_pooled(leg.shard, std::move(cmd)).take();
+}
+
+void Cluster::close_legs(const std::vector<Leg>& legs, u32 skip_shard) {
+  pending_.clear();
+  for (const Leg& leg : legs) {
+    if (leg.shard == skip_shard) continue;
+    runtime::Command cmd;
+    cmd.kind = runtime::CommandKind::kClose;
+    cmd.session = leg.session;
+    pending_.push_back(runtime_.stage_call(stage_, leg.shard, std::move(cmd)));
+  }
+  (void)runtime_.submit_stage(stage_);
+  for (auto& p : pending_) (void)p.take();
+  pending_.clear();
 }
 
 bool Cluster::close(u64 id) {
@@ -191,7 +287,7 @@ bool Cluster::close(u64 id) {
   if (it == live_.end()) return false;
   const Conference c = std::move(it->second);
   live_.erase(it);
-  for (const Leg& leg : c.legs) close_leg(leg);
+  close_legs(c.legs, config_.shards);
   if (c.spanning) {
     trunks_.release_mesh(touched_shards(c));
     ++stats_.span_closes;
@@ -214,8 +310,7 @@ void Cluster::tear_down(u64 id, u32 dead_shard) {
   const auto it = live_.find(id);
   const Conference c = std::move(it->second);
   live_.erase(it);
-  for (const Leg& leg : c.legs)
-    if (leg.shard != dead_shard) close_leg(leg);
+  close_legs(c.legs, dead_shard);
   if (c.spanning) trunks_.release_mesh(touched_shards(c));
   if (c.spanning)
     ++stats_.span_interrupted;
@@ -258,7 +353,7 @@ std::vector<u64> Cluster::fail_link(u32 shard, u32 level, u32 row) {
   cmd.kind = runtime::CommandKind::kFailLink;
   cmd.level = level;
   cmd.row = row;
-  const auto r = await(runtime_.call(shard, std::move(cmd)));
+  const auto r = runtime_.call_pooled(shard, std::move(cmd)).take();
   std::vector<u64> interrupted;
   if (r.status != runtime::CommandStatus::kDone) return interrupted;
   if (r.ok) ++stats_.link_failures;
@@ -294,7 +389,7 @@ bool Cluster::repair_link(u32 shard, u32 level, u32 row) {
   cmd.kind = runtime::CommandKind::kRepairLink;
   cmd.level = level;
   cmd.row = row;
-  const auto r = await(runtime_.call(shard, std::move(cmd)));
+  const auto r = runtime_.call_pooled(shard, std::move(cmd)).take();
   const bool repaired =
       r.status == runtime::CommandStatus::kDone && r.ok;
   if (repaired) ++stats_.link_repairs;
@@ -462,8 +557,15 @@ void check_cluster(const cluster::Cluster& c) {
       ++live_intra;
     }
   }
+  // `recount` counts live spanning conferences per pair — the sharer
+  // refcount under lane multiplexing, not lanes. The ledger's refcounts
+  // must match it exactly (ceil-division alone could mask a sharer leak
+  // inside one lane's multiplex window).
+  require(c.trunks_.sharers_by_pair() == recount, kSub,
+          "trunk sharer refcounts disagree with the live-span recount");
   check_trunk_accounts(c.trunks_.used_by_pair(), recount,
                        c.trunks_.lanes_per_pair(),
+                       c.trunks_.conferences_per_lane(),
                        c.trunks_.faulty_by_pair());
   check_cluster_stats(c.stats_, live_intra, live_spans);
 }

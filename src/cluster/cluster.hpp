@@ -4,17 +4,29 @@
 //
 // A conference confined to one shard is served by that shard's own control
 // plane (the runtime command path — the admission fast path). A conference
-// spanning shards is admitted by reserve-then-commit two-phase setup:
+// spanning shards is admitted by a single-round optimistic claim:
 //
-//   reserve  — on every touched shard, open a local leg of `members + 1`
-//              ports: the shard's placer draws the leg's member ports plus
-//              one relay port, and the local fabric realizes the leg as an
-//              ordinary ALL_PAIRS conference (the local fan-in). A shard
-//              that refuses (placement/capacity/fault) aborts the attempt
-//              and every already-reserved leg is closed — zero residue.
-//   commit   — reserve one trunk lane per touched-shard pair (full mesh)
-//              in the TrunkBook, all-or-nothing. Exhausted or faulty
-//              trunks roll every leg reservation back — zero residue.
+//   claim    — the trunk mesh (one sharer slot per touched-shard pair, all
+//              lanes multiplexed up to conferences_per_lane ways) is
+//              acquired up front in the TrunkBook, all-or-nothing. An
+//              exhausted or faulty pair refuses the open before any shard
+//              sees a command — kBlockedTrunk costs zero coordination
+//              rounds.
+//   open     — every local leg (`members + 1` ports: the shard's placer
+//              draws the member ports plus one trunk relay termination,
+//              realized as an ordinary ALL_PAIRS conference — the local
+//              fan-in) is opened in one staged burst; the legs run
+//              concurrently on their shards.
+//   settle   — if every leg was granted the conference is live. Any
+//              refusal (placement/capacity/fault) rolls back: granted legs
+//              are closed and the provisional mesh released — audited zero
+//              residue.
+//
+// The PR 9 two-round reserve-then-commit protocol (legs first, mesh at
+// commit time) is retained verbatim as admit_span_reference — the oracle
+// the optimistic path is equivalence-tested against. The two differ only
+// in the *cause* reported when both a trunk pair and a leg would refuse
+// (the optimistic claim sees the trunk first) — never in accept/refuse.
 //
 // Delivery model: each leg's local fan-in combines its member signals; the
 // relay port exports the combined signal onto the trunk mesh and injects
@@ -62,6 +74,8 @@ struct ClusterConfig {
   conf::PlacerBackend backend = conf::PlacerBackend::kFast;
   std::size_t queue_depth = 256;   // per-shard command queue bound
   u32 trunk_lanes = 4;             // trunk lanes per shard pair
+  u32 conferences_per_lane = 1;    // spanning conferences multiplexed onto
+                                   // one lane (1 = mixer-per-lane)
   std::size_t trace_capacity = 0;  // per-shard trace ring (0 = disabled)
   u64 seed = 1;                    // base seed; shard i uses seed + i
 };
@@ -107,8 +121,19 @@ class Cluster {
   /// Open a conference. One leg = intra-shard (members >= 2, served by the
   /// shard alone); several legs = spanning (distinct shards, members >= 1
   /// per leg; each leg is realized as members + 1 local ports, the extra
-  /// one being the trunk relay termination) via reserve-then-commit.
+  /// one being the trunk relay termination) via the single-round
+  /// optimistic claim.
   [[nodiscard]] OpenReport open(const std::vector<LegSpec>& legs);
+
+  /// Reference spanning admission: the PR 9 two-round reserve-then-commit
+  /// protocol (sequential leg round, then the trunk mesh at commit time),
+  /// kept as the equivalence oracle and latency baseline for the
+  /// optimistic one-round path. Accept/refuse verdicts match open() on
+  /// identical cluster state; only the reported blocking *cause* may
+  /// differ when a trunk pair and a leg would both refuse. Requires
+  /// legs.size() >= 2.
+  [[nodiscard]] OpenReport admit_span_reference(
+      const std::vector<LegSpec>& legs);
 
   /// Close a live conference: close every leg, release its trunk mesh.
   /// False when `id` is not live (already closed or interrupted).
@@ -198,8 +223,16 @@ class Cluster {
   [[nodiscard]] OpenReport open_intra(const LegSpec& leg);
   [[nodiscard]] OpenReport open_span(const std::vector<LegSpec>& legs);
 
+  /// Validate a spanning request and return its legs sorted by shard.
+  [[nodiscard]] std::vector<LegSpec> validated_span(
+      const std::vector<LegSpec>& legs) const;
+
   /// Close one leg session on its shard (rollback/teardown path).
   void close_leg(const Leg& leg);
+
+  /// Close several legs in one staged burst (skipping `skip_shard`'s leg,
+  /// whose session is already gone; pass shard >= K to close all).
+  void close_legs(const std::vector<Leg>& legs, u32 skip_shard);
 
   /// Tear down a live conference (faults): close surviving legs, release
   /// the trunk mesh, erase it. `dead_shard`/`dead_session` name a leg whose
@@ -216,6 +249,10 @@ class Cluster {
   std::map<u64, Conference> live_;   // cluster-owner: caller
   u64 next_id_ = 0;                  // cluster-owner: caller
   ClusterStats stats_;               // cluster-owner: caller
+  // Reused fan-out scratch (coordinator-only): staged command bursts and
+  // their pooled completions; steady-state spans allocate nothing here.
+  runtime::CommandStage stage_;                  // cluster-owner: caller
+  std::vector<runtime::PooledResult> pending_;   // cluster-owner: caller
 };
 
 }  // namespace confnet::cluster

@@ -4,10 +4,12 @@
 
 namespace confnet::cluster {
 
-TrunkBook::TrunkBook(u32 shards, u32 lanes_per_pair)
-    : shards_(shards), lanes_(lanes_per_pair) {
+TrunkBook::TrunkBook(u32 shards, u32 lanes_per_pair, u32 conferences_per_lane)
+    : shards_(shards), lanes_(lanes_per_pair), cpl_(conferences_per_lane) {
   expects(shards >= 1, "trunk book needs at least one shard");
+  expects(cpl_ >= 1, "each lane must carry at least one conference");
   used_.assign(pair_count(), 0);
+  sharers_.assign(pair_count(), 0);
   faulty_.assign(pair_count(), false);
 }
 
@@ -21,15 +23,20 @@ u32 TrunkBook::pair_index(u32 a, u32 b) const {
 
 u32 TrunkBook::used(u32 a, u32 b) const { return used_[pair_index(a, b)]; }
 
+u32 TrunkBook::sharers(u32 a, u32 b) const {
+  return sharers_[pair_index(a, b)];
+}
+
 bool TrunkBook::faulty(u32 a, u32 b) const {
   return faulty_[pair_index(a, b)];
 }
 
 bool TrunkBook::can_reserve_mesh(const std::vector<u32>& touched) const {
+  const u64 cap = static_cast<u64>(lanes_) * cpl_;
   for (std::size_t i = 0; i < touched.size(); ++i) {
     for (std::size_t j = i + 1; j < touched.size(); ++j) {
       const u32 p = pair_index(touched[i], touched[j]);
-      if (faulty_[p] || used_[p] >= lanes_) return false;
+      if (faulty_[p] || sharers_[p] >= cap) return false;
     }
   }
   return true;
@@ -40,10 +47,17 @@ bool TrunkBook::reserve_mesh(const std::vector<u32>& touched) {
   for (std::size_t i = 0; i < touched.size(); ++i) {
     for (std::size_t j = i + 1; j < touched.size(); ++j) {
       const u32 p = pair_index(touched[i], touched[j]);
-      ++used_[p];
-      ++reserved_;
-      ++acquires_;
-      peak_ = std::max(peak_, used_[p]);
+      ++sharers_[p];
+      ++sharer_total_;
+      // A fresh lane lights up only when the sharer count crosses a
+      // conferences_per_lane boundary; joiners ride the existing lane.
+      const u32 lanes_now = (sharers_[p] + cpl_ - 1) / cpl_;
+      if (lanes_now > used_[p]) {
+        used_[p] = lanes_now;
+        ++reserved_;
+        ++acquires_;
+        peak_ = std::max(peak_, used_[p]);
+      }
     }
   }
   return true;
@@ -53,9 +67,16 @@ void TrunkBook::release_mesh(const std::vector<u32>& touched) {
   for (std::size_t i = 0; i < touched.size(); ++i) {
     for (std::size_t j = i + 1; j < touched.size(); ++j) {
       const u32 p = pair_index(touched[i], touched[j]);
-      expects(used_[p] > 0 && reserved_ > 0, "trunk lane double release");
-      --used_[p];
-      --reserved_;
+      expects(sharers_[p] > 0 && sharer_total_ > 0,
+              "trunk lane double release");
+      --sharers_[p];
+      --sharer_total_;
+      const u32 lanes_now = (sharers_[p] + cpl_ - 1) / cpl_;
+      if (lanes_now < used_[p]) {
+        expects(reserved_ > 0, "trunk lane double release");
+        used_[p] = lanes_now;
+        --reserved_;
+      }
     }
   }
 }

@@ -23,6 +23,8 @@
 
 namespace confnet::runtime {
 
+class ResultSlot;
+
 using u32 = min::u32;
 using u64 = min::u64;
 
@@ -113,6 +115,12 @@ struct Command {
   /// kRejectedStopped when the runtime refuses it. Never invoked for
   /// kQueueFull (the command never left the caller).
   std::function<void(CommandResult&&)> done;
+  /// Optional pooled completion (Runtime::call_pooled): fulfilled exactly
+  /// once under the same protocol as `done`. Mutually exclusive with
+  /// `done` — a command carries at most one completion channel. The slot
+  /// is owned by the Runtime's ResultPool; the producer holds the matching
+  /// PooledResult, which keeps the slot alive until fulfilled.
+  ResultSlot* slot = nullptr;
 };
 
 }  // namespace confnet::runtime

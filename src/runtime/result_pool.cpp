@@ -1,0 +1,57 @@
+#include "runtime/result_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace confnet::runtime {
+
+CommandResult PooledResult::take() {
+  expects(slot_ != nullptr, "PooledResult::take on an empty handle");
+  CommandResult result = slot_->wait_take();
+  pool_->release(slot_);
+  slot_ = nullptr;
+  pool_ = nullptr;
+  return result;
+}
+
+void PooledResult::settle() {
+  if (slot_ == nullptr) return;
+  // The command in flight still holds a raw pointer to the slot; wait for
+  // its fulfill before recycling, or a later acquire could be completed by
+  // the stale command.
+  slot_->wait_ready();
+  pool_->release(slot_);
+  slot_ = nullptr;
+  pool_ = nullptr;
+}
+
+CONFNET_HOT ResultSlot* ResultPool::acquire() {
+  util::MutexLock lock(mu_);
+  if (free_.empty()) {
+    // Cold path: the pool grows only when every slot is in flight; the
+    // free list reserves alongside so release never reallocates.
+    // static_check: allow(hot-alloc) pool growth is the cold path —
+    // steady-state churn recycles slots without allocating
+    slots_.push_back(std::make_unique<ResultSlot>());
+    // static_check: allow(hot-alloc) mirrors the slot table's growth
+    free_.reserve(slots_.capacity());
+    return slots_.back().get();
+  }
+  ResultSlot* slot = free_.back();
+  free_.pop_back();
+  slot->reset();
+  return slot;
+}
+
+CONFNET_HOT void ResultPool::release(ResultSlot* slot) {
+  util::MutexLock lock(mu_);
+  // static_check: allow(hot-alloc) free list capacity is reserved at
+  // growth time; this push recycles it
+  free_.push_back(slot);
+}
+
+std::size_t ResultPool::slots() const {
+  util::MutexLock lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace confnet::runtime

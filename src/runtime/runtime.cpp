@@ -97,6 +97,51 @@ std::future<CommandResult> Runtime::call(u32 shard, Command&& cmd) {
   return fut;
 }
 
+PooledResult Runtime::call_pooled(u32 shard, Command&& cmd) {
+  expects(!cmd.done, "call_pooled: a command carries one completion "
+                     "channel; done and slot are mutually exclusive");
+  ResultSlot* slot = pool_.acquire();
+  cmd.slot = slot;
+  // A refused submit fulfills the slot inline (kRejectedStopped), so the
+  // handle always completes.
+  submit_to_blocking(shard, std::move(cmd));
+  return PooledResult(&pool_, slot);
+}
+
+PooledResult Runtime::stage_call(CommandStage& stage, u32 shard,
+                                 Command&& cmd) {
+  expects(!cmd.done, "stage_call: a command carries one completion "
+                     "channel; done and slot are mutually exclusive");
+  ResultSlot* slot = pool_.acquire();
+  cmd.slot = slot;
+  stage.add(shard, std::move(cmd));
+  return PooledResult(&pool_, slot);
+}
+
+SubmitStatus Runtime::submit_stage(CommandStage& stage) {
+  stage.wake_.assign(workers_n_, 0);
+  SubmitStatus verdict = SubmitStatus::kAccepted;
+  for (auto& [shard, cmd] : stage.staged_) {
+    expects(shard < shards_.size(), "submit_stage: shard out of range");
+    SubmitStatus st = shards_[shard]->submit(std::move(cmd));
+    if (st == SubmitStatus::kQueueFull) {
+      // The queue is full and its worker may be parked (wakes are
+      // deferred to the end of the flush) — wake it before blocking for
+      // space, or the flush would deadlock against its own deferral.
+      wake(worker_of(shard));
+      st = shards_[shard]->submit_blocking(std::move(cmd));
+    }
+    if (st == SubmitStatus::kAccepted)
+      stage.wake_[worker_of(shard)] = 1;
+    else
+      verdict = SubmitStatus::kStopped;
+  }
+  for (u32 w = 0; w < workers_n_; ++w)
+    if (stage.wake_[w] != 0) wake(w);
+  stage.staged_.clear();
+  return verdict;
+}
+
 RuntimeSnapshot Runtime::snapshot() const {
   RuntimeSnapshot snap;
   snap.shards.reserve(shards_.size());
@@ -119,11 +164,18 @@ void Runtime::dump_trace_jsonl(std::ostream& os) const {
 
 void Runtime::wake(u32 worker) {
   Worker& w = *workers_[worker];
-  {
+  // Publish the signal, then check whether the worker is (or is about to
+  // be) parked. Both sides' store-then-load pairs are seq_cst, so this
+  // producer sees `parked == true` or the worker sees `signals > 0` — a
+  // busy worker costs one uncontended fetch_add, no mutex, no notify.
+  w.signals.fetch_add(1, std::memory_order_seq_cst);
+  if (w.parked.load(std::memory_order_seq_cst)) {
+    // Serialize with the park decision: once we hold the mutex the worker
+    // is either inside cv.wait (the notify lands) or past its re-check of
+    // signals (it saw ours and will re-scan).
     util::MutexLock lock(w.mu);
-    ++w.signals;
+    w.cv.notify_one();
   }
-  w.cv.notify_one();
 }
 
 void Runtime::worker_loop(u32 w) {
@@ -135,8 +187,14 @@ void Runtime::worker_loop(u32 w) {
     bool stopping = false;
     {
       util::MutexLock lock(me.mu);
-      while (me.signals == 0 && !me.stop) me.cv.wait(me.mu);
-      me.signals = 0;
+      me.parked.store(true, std::memory_order_seq_cst);
+      // Re-check after publishing parked: a producer that signalled before
+      // seeing parked=true is caught here; one that saw parked=true takes
+      // the mutex and notifies, which cannot be missed while we hold it.
+      while (me.signals.load(std::memory_order_seq_cst) == 0 && !me.stop)
+        me.cv.wait(me.mu);
+      me.parked.store(false, std::memory_order_relaxed);
+      me.signals.store(0, std::memory_order_relaxed);
       stopping = me.stop;
     }
     if (!stopping) continue;

@@ -21,15 +21,18 @@
 // state (flush_retries), publishes final stats, and exits; (4) join.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <future>
 #include <memory>
 #include <ostream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "min/types.hpp"
 #include "runtime/command.hpp"
+#include "runtime/result_pool.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/shard_obs.hpp"
 #include "util/mutex.hpp"
@@ -42,6 +45,28 @@ struct RuntimeConfig {
   u32 shards = 4;       // independent fabrics (fixed for a workload)
   u32 workers = 1;      // owner threads; shard i belongs to worker i % W
   ShardConfig shard{};  // applied to every shard (seed offset by index)
+};
+
+/// Producer-side staging buffer: collect a burst of commands, then hand
+/// the whole burst to Runtime::submit_stage — every owning worker is woken
+/// once per flush instead of once per command. Thread-compatible: one
+/// producer owns a stage; the backing vectors recycle their capacity
+/// across flushes, so steady-state staging allocates nothing.
+class CommandStage {
+ public:
+  CONFNET_HOT void add(u32 shard, Command&& cmd) {
+    // static_check: allow(hot-alloc) the staged vector grows to the burst
+    // width once, then recycles its capacity across flushes
+    staged_.emplace_back(shard, std::move(cmd));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return staged_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return staged_.empty(); }
+
+ private:
+  friend class Runtime;
+  std::vector<std::pair<u32, Command>> staged_;  // runtime-owner: caller
+  std::vector<std::uint8_t> wake_;               // runtime-owner: caller
 };
 
 class Runtime {
@@ -81,8 +106,31 @@ class Runtime {
   /// Future-returning convenience: installs a completion that fulfills the
   /// returned future, then submits (blocking on a full queue). The future
   /// always becomes ready — with kRejectedStopped when the runtime refused
-  /// the command.
+  /// the command. Allocates a shared promise per call; the hot producer
+  /// path is call_pooled below.
   std::future<CommandResult> call(u32 shard, Command&& cmd);
+
+  /// Allocation-free call: hangs a recycled ResultPool slot on the command
+  /// and submits (blocking on a full queue). The returned handle always
+  /// completes — with kRejectedStopped when the runtime refused the
+  /// command. Steady-state churn through this path allocates nothing.
+  [[nodiscard]] PooledResult call_pooled(u32 shard, Command&& cmd);
+
+  /// Stage an allocation-free call: hangs a recycled slot on the command
+  /// and parks it in `stage` instead of submitting. Nothing runs until
+  /// submit_stage flushes the burst — take() before the flush would block
+  /// forever.
+  [[nodiscard]] PooledResult stage_call(CommandStage& stage, u32 shard,
+                                        Command&& cmd);
+
+  /// Flush a staged burst: every command is submitted to its shard (a full
+  /// queue wakes that worker, then blocks for space), and each worker that
+  /// received work is woken exactly once at the end — one notify per burst
+  /// instead of one per push. Per-shard submission order is the stage's
+  /// add order. Returns kAccepted when every command was enqueued,
+  /// kStopped when any was answered inline with kRejectedStopped (the rest
+  /// still went through). The stage is left empty, capacity retained.
+  SubmitStatus submit_stage(CommandStage& stage);
 
   // --- observability: any thread ------------------------------------------
 
@@ -93,6 +141,11 @@ class Runtime {
 
   /// Commands accepted across all shards (the drain watermark).
   [[nodiscard]] u64 submitted() const;
+
+  /// Completion slots ever created by the result pool — the high-water
+  /// mark of concurrent call_pooled/stage_call commands in flight. A flat
+  /// value across steady-state churn is the no-allocation evidence.
+  [[nodiscard]] std::size_t pooled_slots() const { return pool_.slots(); }
 
   // --- post-stop: externally synchronized ---------------------------------
 
@@ -126,10 +179,20 @@ class Runtime {
   /// flag) makes wakeups level-triggered: a producer's wake between "saw
   /// empty queues" and "parked" leaves signals > 0, so the worker re-scans
   /// instead of sleeping through it.
+  ///
+  /// Lock-lean wake protocol: `signals` and `parked` are atomics, so the
+  /// steady-state wake (worker busy) is one uncontended fetch_add with no
+  /// mutex and no notify. The mutex/condvar pair is touched only around
+  /// actual parking. Both sides' critical orderings are seq_cst
+  /// store-then-load fences: the worker publishes `parked = true` before
+  /// re-reading `signals`; a producer publishes its signal before reading
+  /// `parked` — at least one of them must see the other's store, so a
+  /// wakeup is never lost (see docs/THREADING.md).
   struct Worker {
-    util::Mutex mu;              // runtime-owner: lock
-    util::CondVar cv;            // runtime-owner: lock
-    u64 signals CONFNET_GUARDED_BY(mu) = 0;
+    util::Mutex mu;                   // runtime-owner: lock
+    util::CondVar cv;                 // runtime-owner: lock
+    std::atomic<u64> signals{0};      // runtime-owner: atomic
+    std::atomic<bool> parked{false};  // runtime-owner: atomic
     bool stop CONFNET_GUARDED_BY(mu) = false;
     std::vector<u32> shard_ids;  // runtime-owner: immutable
     std::thread thread;          // runtime-owner: caller
@@ -145,6 +208,7 @@ class Runtime {
   const u32 ports_;      // runtime-owner: immutable
   std::vector<std::unique_ptr<Shard>> shards_;    // runtime-owner: immutable
   std::vector<std::unique_ptr<Worker>> workers_;  // runtime-owner: immutable
+  ResultPool pool_;       // runtime-owner: queue
   bool started_ = false;  // runtime-owner: caller
   bool stopped_ = false;  // runtime-owner: caller
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "runtime/result_pool.hpp"
 #include "util/trace.hpp"
 
 namespace confnet::runtime {
@@ -34,35 +35,37 @@ SubmitStatus Shard::submit(Command&& cmd) {
     case QueuePush::kOk:
       return SubmitStatus::kAccepted;
     case QueuePush::kFull:
+      // Backpressure: the bounce was counted once by the queue and the
+      // command never entered pushed() — a retry that lands contributes
+      // exactly one accept to the drain watermark.
       return SubmitStatus::kQueueFull;
     case QueuePush::kClosed:
       break;
   }
   // Stopped: answer inline so the command is rejected, not lost. `cmd` was
   // not consumed by the failed push.
-  rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
-  if (cmd.done) {
-    CommandResult result;
-    result.kind = cmd.kind;
-    result.status = CommandStatus::kRejectedStopped;
-    result.shard = index_;
-    cmd.done(std::move(result));
-  }
+  reject_inline(cmd);
   return SubmitStatus::kStopped;
 }
 
 SubmitStatus Shard::submit_blocking(Command&& cmd) {
   if (queue_.push_wait(std::move(cmd)) == QueuePush::kOk)
     return SubmitStatus::kAccepted;
-  rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
-  if (cmd.done) {
-    CommandResult result;
-    result.kind = cmd.kind;
-    result.status = CommandStatus::kRejectedStopped;
-    result.shard = index_;
-    cmd.done(std::move(result));
-  }
+  reject_inline(cmd);
   return SubmitStatus::kStopped;
+}
+
+void Shard::reject_inline(Command& cmd) {
+  rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
+  if (cmd.slot == nullptr && !cmd.done) return;
+  CommandResult result;
+  result.kind = cmd.kind;
+  result.status = CommandStatus::kRejectedStopped;
+  result.shard = index_;
+  if (cmd.slot != nullptr)
+    cmd.slot->fulfill(std::move(result));
+  else
+    cmd.done(std::move(result));
 }
 
 std::size_t Shard::process_available() {
@@ -272,12 +275,16 @@ void Shard::apply(Command& cmd) {
   // Tracer::record is thread-safe, so concurrent shards may interleave).
   obs::trace_emit("runtime", command_name(cmd.kind),
                   static_cast<double>(stats_.active_sessions));
-  if (cmd.done) cmd.done(std::move(result));
+  if (cmd.slot != nullptr)
+    cmd.slot->fulfill(std::move(result));
+  else if (cmd.done)
+    cmd.done(std::move(result));
 }
 
 void Shard::publish() {
   ShardStats copy = stats_;
   copy.rejected_stopped = rejected_stopped_.load(std::memory_order_relaxed);
+  copy.submit_bounced = queue_.bounced();
   {
     util::MutexLock lock(pub_mu_);
     published_ = copy;
@@ -291,8 +298,9 @@ ShardStats Shard::snapshot() const {
     util::MutexLock lock(pub_mu_);
     copy = published_;
   }
-  // Folded in outside the stats identities: producers bump it directly.
+  // Folded in outside the stats identities: producers bump these directly.
   copy.rejected_stopped = rejected_stopped_.load(std::memory_order_relaxed);
+  copy.submit_bounced = queue_.bounced();
   return copy;
 }
 

@@ -59,7 +59,9 @@ class Shard {
   // --- producer side: any thread -----------------------------------------
 
   /// Enqueue without blocking. kQueueFull: backpressure, caller keeps the
-  /// command. kStopped: the completion already ran inline with
+  /// command — the bounce is counted once in `submit_bounced` and never in
+  /// `pushed()`, so a retried command contributes exactly one accept to
+  /// the drain watermark. kStopped: the completion already ran inline with
   /// kRejectedStopped. Thread-safe.
   SubmitStatus submit(Command&& cmd);
 
@@ -74,6 +76,9 @@ class Shard {
 
   /// Current command queue depth. Thread-safe (advisory: racy by nature).
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// try_push bounces so far (kQueueFull verdicts). Thread-safe.
+  [[nodiscard]] u64 submit_bounced() const { return queue_.bounced(); }
 
   // --- owner side: exactly one worker thread -----------------------------
 
@@ -114,6 +119,9 @@ class Shard {
 
  private:
   void apply(Command& cmd) CONFNET_EXCLUDES(pub_mu_);
+  /// Answer a refused command inline with kRejectedStopped through
+  /// whichever completion channel it carries (slot or done).
+  void reject_inline(Command& cmd);
   void run_due_retries(CommandResult& result);
   void publish() CONFNET_EXCLUDES(pub_mu_);
   void serve_open(OpenOutcome& out, const conf::WaitQueueManager::RequestResult& r);

@@ -25,6 +25,7 @@ void ShardStats::merge(const ShardStats& other) noexcept {
   dropped += other.dropped;
   expired += other.expired;
   rejected_stopped += other.rejected_stopped;
+  submit_bounced += other.submit_bounced;
   bursts += other.bursts;
   max_burst = std::max(max_burst, other.max_burst);
   max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
@@ -77,6 +78,8 @@ void publish_to_registry(const RuntimeSnapshot& snap) {
   reg.gauge("runtime", "dropped").set(static_cast<double>(snap.total.dropped));
   reg.gauge("runtime", "max_queue_depth")
       .set(static_cast<double>(snap.total.max_queue_depth));
+  reg.gauge("runtime", "submit_bounced")
+      .set(static_cast<double>(snap.total.submit_bounced));
 }
 
 }  // namespace confnet::runtime

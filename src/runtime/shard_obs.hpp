@@ -50,6 +50,9 @@ struct ShardStats {
   u64 dropped = 0;         // interrupted sessions dropped (budget exhausted)
   u64 expired = 0;         // pending recoveries cancelled (origin departed)
   u64 rejected_stopped = 0;  // commands refused because the shard stopped
+  u64 submit_bounced = 0;  // try_push kQueueFull bounces (backpressure);
+                           // a retried command adds one accept to
+                           // `completed`-side stats, never two
   u64 bursts = 0;          // pop_batch drains that yielded work
   u64 max_burst = 0;       // largest burst drained
   u64 max_queue_depth = 0;  // deepest the command queue got at drain time

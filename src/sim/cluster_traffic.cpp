@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <tuple>
+#include <utility>
 
 #include "sim/des.hpp"
 #include "util/rng.hpp"
@@ -147,19 +149,46 @@ ClusterTrafficResult run_cluster_traffic(cluster::Cluster& cluster,
 
   // --- fault interruption bookkeeping -------------------------------------
 
-  auto absorb_interrupts = [&](const std::vector<u64>& ids) {
+  // Retry queue for retry_on_repair: victims parked per fault key until
+  // the matching repair fires. Key = (kind, a/shard, b/level, 0/row) with
+  // kind 0 = trunk pair, 1 = interstage link.
+  using FaultKey = std::tuple<int, u32, u32, u32>;
+  std::map<FaultKey, std::vector<Offered>> parked;
+
+  auto reoffer = [&](Offered&& victim) {
+    if (victim.departs > des.now() &&
+        offer(std::move(victim.legs), victim.departs) ==
+            cluster::Admit::kAccepted)
+      ++result.reopened;
+    else
+      ++result.lost;
+  };
+
+  auto absorb_interrupts = [&](const std::vector<u64>& ids,
+                               const FaultKey& key) {
     for (const u64 id : ids) {
       const auto it = live.find(id);
       if (it == live.end()) continue;
-      const Offered victim = std::move(it->second);
+      Offered victim = std::move(it->second);
       live.erase(it);
       ++result.interrupted;
-      if (config.retry_interrupted && victim.departs > des.now() &&
-          offer(victim.legs, victim.departs) == cluster::Admit::kAccepted)
-        ++result.reopened;
-      else
+      if (!config.retry_interrupted) {
         ++result.lost;
+      } else if (config.retry_on_repair) {
+        parked[key].push_back(std::move(victim));
+      } else {
+        reoffer(std::move(victim));
+      }
     }
+  };
+
+  /// The fault behind `key` is repaired: re-offer everything it parked.
+  auto release_parked = [&](const FaultKey& key) {
+    const auto it = parked.find(key);
+    if (it == parked.end()) return;
+    std::vector<Offered> queue = std::move(it->second);
+    parked.erase(it);
+    for (Offered& victim : queue) reoffer(std::move(victim));
   };
 
   // --- trunk fault process -------------------------------------------------
@@ -169,7 +198,10 @@ ClusterTrafficResult run_cluster_traffic(cluster::Cluster& cluster,
   const u32 pairs = cluster.trunks().pair_count();
   std::function<void(u32, u32)> trunk_repair = [&](u32 a, u32 b) {
     advance(des.now());
-    if (cluster.repair_trunk(a, b)) ++result.trunk_repairs;
+    if (cluster.repair_trunk(a, b)) {
+      ++result.trunk_repairs;
+      release_parked(FaultKey{0, a, b, 0});
+    }
   };
   std::function<void()> trunk_fault = [&] {
     advance(des.now());
@@ -178,7 +210,7 @@ ClusterTrafficResult run_cluster_traffic(cluster::Cluster& cluster,
       const auto [a, b] =
           pair_of_index(shards, static_cast<u32>(rng.below(pairs)));
       if (cluster.trunks().faulty(a, b)) continue;
-      absorb_interrupts(cluster.fail_trunk(a, b));
+      absorb_interrupts(cluster.fail_trunk(a, b), FaultKey{0, a, b, 0});
       ++result.trunk_faults;
       des.schedule_in(rng.exponential(config.trunk_repair_rate),
                       [&, a = a, b = b] { trunk_repair(a, b); });
@@ -194,7 +226,10 @@ ClusterTrafficResult run_cluster_traffic(cluster::Cluster& cluster,
   std::function<void(u32, u32, u32)> link_repair = [&](u32 s, u32 level,
                                                        u32 row) {
     advance(des.now());
-    if (cluster.repair_link(s, level, row)) ++result.link_repairs;
+    if (cluster.repair_link(s, level, row)) {
+      ++result.link_repairs;
+      release_parked(FaultKey{1, s, level, row});
+    }
   };
   std::function<void()> link_fault = [&] {
     advance(des.now());
@@ -204,7 +239,8 @@ ClusterTrafficResult run_cluster_traffic(cluster::Cluster& cluster,
     const u32 level = 1 + static_cast<u32>(rng.below(n - 1));
     const u32 row = static_cast<u32>(rng.below(ports));
     const u64 before = cluster.stats().link_failures;
-    absorb_interrupts(cluster.fail_link(s, level, row));
+    absorb_interrupts(cluster.fail_link(s, level, row),
+                      FaultKey{1, s, level, row});
     if (cluster.stats().link_failures > before) {
       ++result.link_faults;
       des.schedule_in(rng.exponential(config.link_repair_rate),
@@ -235,6 +271,12 @@ ClusterTrafficResult run_cluster_traffic(cluster::Cluster& cluster,
   des.run_until(config.duration);
   advance(std::max(config.duration, last));
   cluster.drain();
+
+  // Victims still parked at the horizon never saw their repair: they are
+  // lost, keeping interrupted == reopened + lost exact.
+  for (const auto& [key, queue] : parked)
+    result.lost += queue.size();
+  parked.clear();
 
   // --- results -------------------------------------------------------------
 

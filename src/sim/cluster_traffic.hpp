@@ -1,12 +1,15 @@
 // Cluster teletraffic experiment: Poisson conference arrivals onto a
 // multi-fabric cluster, with a tunable fraction of arrivals spanning
-// shards (served through the reserve-then-commit trunk path), regional
-// port skew across shards, and independent MTTF/MTTR fault processes for
-// trunks and for interstage links inside shards. Results separate the
-// three loss causes the cluster distinguishes — shard-local blocking,
-// trunk exhaustion, fault interruption — plus time-weighted occupancy and
-// trunk utilization, and can periodically deep-verify delivery against
-// the flattened single-fabric oracle (Cluster::cross_check).
+// shards (served through the single-round optimistic trunk claim),
+// regional port skew across shards, and independent MTTF/MTTR fault
+// processes for trunks and for interstage links inside shards. Results
+// separate the three loss causes the cluster distinguishes — shard-local
+// blocking, trunk exhaustion, fault interruption — plus time-weighted
+// occupancy and trunk utilization, and can periodically deep-verify
+// delivery against the flattened single-fabric oracle
+// (Cluster::cross_check). Fault victims are either re-offered immediately
+// or parked in a per-fault retry queue until the matching repair fires
+// (`retry_on_repair`); either way interrupted == reopened + lost holds.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +48,14 @@ struct ClusterTrafficConfig {
   /// Re-offer a fault-interrupted conference once, immediately, with the
   /// same leg layout (reopened vs lost accounting below).
   bool retry_interrupted = true;
+  /// Instead of retrying immediately, hold each interrupted conference in
+  /// a retry queue keyed by the fault that tore it down and re-offer it
+  /// when the matching repair_trunk / repair_link fires. A victim whose
+  /// holding time expires while queued — or whose fault is never repaired
+  /// before the run ends — counts as lost, so interrupted == reopened +
+  /// lost is preserved. Only meaningful with retry_interrupted; false
+  /// keeps the legacy immediate-retry mode.
+  bool retry_on_repair = false;
   /// Periodically run Cluster::cross_check (flattened-oracle delivery +
   /// conservation audit). A violation stops the run with functional_ok
   /// false.

@@ -120,18 +120,23 @@ void check_buddy_state(const std::vector<std::vector<u32>>& free_lists,
 }
 
 void check_trunk_accounts(const std::vector<u32>& used,
-                          const std::vector<u32>& recount, u32 lanes_per_pair,
+                          const std::vector<u32>& sharer_recount,
+                          u32 lanes_per_pair, u32 conferences_per_lane,
                           const std::vector<bool>& faulty) {
   constexpr std::string_view kSub = "cluster";
-  require(used.size() == recount.size() && used.size() == faulty.size(), kSub,
-          "trunk ledger vectors disagree on the pair count");
+  require(conferences_per_lane >= 1, kSub,
+          "trunk multiplexing factor must be at least one");
+  require(used.size() == sharer_recount.size() && used.size() == faulty.size(),
+          kSub, "trunk ledger vectors disagree on the pair count");
   for (std::size_t p = 0; p < used.size(); ++p) {
-    require(used[p] == recount[p], kSub,
-            "trunk lane usage disagrees with the live-span recount");
+    const u32 want =
+        (sharer_recount[p] + conferences_per_lane - 1) / conferences_per_lane;
+    require(used[p] == want, kSub,
+            "trunk lanes-in-use disagree with the live-span sharer recount");
     require(used[p] <= lanes_per_pair, kSub,
             "trunk pair over its lane capacity");
-    require(!faulty[p] || used[p] == 0, kSub,
-            "faulty trunk pair still carries live lanes");
+    require(!faulty[p] || sharer_recount[p] == 0, kSub,
+            "faulty trunk pair still carries live sharers");
   }
 }
 

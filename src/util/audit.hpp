@@ -119,12 +119,15 @@ void check_ticket_queue(const std::vector<u64>& ids,
                         u64 capacity);
 void check_wait_stats(const conf::WaitStats& stats, u64 sessions_accepted);
 
-/// Trunk ledger coherence: per-pair usage equals the recount over live
-/// spanning conferences, never exceeds the per-pair lane capacity, and a
-/// faulty pair carries no live lanes (its users were torn down when it
-/// failed). `used`/`recount`/`faulty` are parallel, indexed by pair.
+/// Trunk ledger coherence under lane multiplexing: per-pair lanes-in-use
+/// equal ceil(sharer_recount / conferences_per_lane) where `sharer_recount`
+/// is the recount of live spanning conferences holding the pair, lanes
+/// never exceed the per-pair capacity, and a faulty pair carries no live
+/// sharers (its users were torn down when it failed). `used` /
+/// `sharer_recount` / `faulty` are parallel, indexed by pair.
 void check_trunk_accounts(const std::vector<u32>& used,
-                          const std::vector<u32>& recount, u32 lanes_per_pair,
+                          const std::vector<u32>& sharer_recount,
+                          u32 lanes_per_pair, u32 conferences_per_lane,
                           const std::vector<bool>& faulty);
 
 /// Cluster admission conservation: every open lands in exactly one outcome

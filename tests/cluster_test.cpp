@@ -1,11 +1,15 @@
 // Functional tests of the multi-fabric cluster layer: port/trunk mapping,
-// intra- and cross-shard admission through reserve-then-commit two-phase
-// setup (commit-time trunk exhaustion rolls every shard reservation back;
-// a mid-reserve shard refusal leaves zero residue, audit-verified), fault
-// interruption over trunks and shard links, worker-count determinism of
-// the whole cluster, multi-seed delivery equivalence against the flattened
-// single-fabric oracle (cross_check), and the cluster teletraffic driver's
-// determinism and conservation accounting.
+// multiplexed trunk-lane algebra (refcount round-trips, ceil-division lane
+// accounting, exhaustion at the conferences_per_lane boundary), intra- and
+// cross-shard admission through the single-round optimistic claim (trunk
+// exhaustion refuses before any shard command; a leg refusal rolls the
+// provisional mesh back with zero residue, audit-verified), randomized
+// equivalence of the optimistic protocol against the two-round
+// admit_span_reference oracle, fault interruption over trunks and shard
+// links (fail_pair tears down every lane sharer), worker-count determinism
+// of the whole cluster, multi-seed delivery equivalence against the
+// flattened single-fabric oracle (cross_check), and the cluster
+// teletraffic driver's determinism and conservation accounting.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -95,8 +99,53 @@ TEST(TrunkBook, MeshReserveIsAllOrNothing) {
   EXPECT_TRUE(book.reserve_mesh({1, 2}));
 }
 
+TEST(TrunkBook, MultiplexedLaneRefcountRoundTrip) {
+  cl::TrunkBook book(4, 2, /*conferences_per_lane=*/3);
+  EXPECT_EQ(book.conferences_per_lane(), 3u);
+  // Sharers pile onto the first lane until it is full, then light the
+  // second: used = ceil(sharers / 3).
+  for (u32 i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(book.reserve_mesh({0, 1})) << "sharer " << i;
+    EXPECT_EQ(book.sharers(0, 1), i);
+    EXPECT_EQ(book.used(0, 1), (i + 2) / 3);
+  }
+  EXPECT_EQ(book.lane_acquires(), 2u)
+      << "joiners of a lit lane must not count as lane acquisitions";
+  EXPECT_EQ(book.reserved_total(), 2u);
+  EXPECT_EQ(book.sharers_total(), 6u);
+  EXPECT_EQ(book.peak_pair_used(), 2u);
+  // Releases walk the ladder back down symmetrically.
+  for (u32 i = 6; i > 0; --i) {
+    book.release_mesh({0, 1});
+    EXPECT_EQ(book.sharers(0, 1), i - 1);
+    EXPECT_EQ(book.used(0, 1), (i - 1 + 2) / 3);
+  }
+  EXPECT_EQ(book.reserved_total(), 0u);
+  EXPECT_EQ(book.sharers_total(), 0u);
+}
+
+TEST(TrunkBook, ExhaustionAtTheConferencesPerLaneBoundary) {
+  cl::TrunkBook book(3, 1, /*conferences_per_lane=*/2);
+  ASSERT_TRUE(book.reserve_mesh({0, 1}));
+  ASSERT_TRUE(book.reserve_mesh({0, 1}))
+      << "one lane must multiplex two conferences";
+  EXPECT_FALSE(book.reserve_mesh({0, 1}))
+      << "the third sharer exceeds lanes * conferences_per_lane";
+  EXPECT_EQ(book.sharers(0, 1), 2u);
+  EXPECT_EQ(book.used(0, 1), 1u);
+  // All-or-nothing still holds against the sharer bound: {0,1,2} needs the
+  // saturated pair (0,1), so the free pairs stay untouched.
+  EXPECT_FALSE(book.reserve_mesh({0, 1, 2}));
+  EXPECT_EQ(book.sharers(0, 2), 0u);
+  EXPECT_EQ(book.sharers(1, 2), 0u);
+  book.release_mesh({0, 1});
+  EXPECT_TRUE(book.reserve_mesh({0, 1}))
+      << "a released sharer slot must be reusable";
+}
+
 // ---------------------------------------------------------------------------
-// Admission: intra, spanning, and the two-phase failure paths.
+// Admission: intra, spanning, and the refusal/rollback paths of both the
+// optimistic single-round protocol and the two-round reference oracle.
 // ---------------------------------------------------------------------------
 
 TEST(Cluster, IntraOpenCloseRoundTrip) {
@@ -134,7 +183,7 @@ TEST(Cluster, SpanningConferenceReservesItsTrunkMesh) {
   c.stop();
 }
 
-TEST(Cluster, CommitTimeTrunkExhaustionRollsBackAllShardReservations) {
+TEST(Cluster, TrunkExhaustionRefusesBeforeAnyShardCommand) {
   cl::ClusterConfig cfg = small_config();
   cfg.trunk_lanes = 1;
   cl::Cluster c(cfg);
@@ -143,21 +192,82 @@ TEST(Cluster, CommitTimeTrunkExhaustionRollsBackAllShardReservations) {
   c.drain();  // publish the burst so the baseline snapshot is current
   const auto before = c.runtime_snapshot();
 
-  // Pair (0,1) is exhausted: both legs must be reserved, then rolled back
-  // at the trunk commit — no shard session may survive the refusal.
+  // Pair (0,1) is exhausted: the optimistic claim refuses during the trunk
+  // phase, before a single leg command reaches any shard — the refusal is
+  // free of coordination rounds and leaves nothing to roll back.
   const auto r = c.open(span({{0, 3}, {1, 3}}));
   EXPECT_EQ(r.result, cl::Admit::kBlockedTrunk);
   c.drain();
   const auto after = c.runtime_snapshot();
   EXPECT_EQ(after.total.active_sessions, before.total.active_sessions)
       << "trunk-blocked span left shard sessions behind";
-  EXPECT_EQ(c.stats().legs_rolled_back, 2u);
+  EXPECT_EQ(after.total.opens, before.total.opens)
+      << "the optimistic claim must refuse before any shard open is issued";
+  EXPECT_EQ(c.stats().legs_rolled_back, 0u);
   EXPECT_EQ(c.stats().span_blocked_trunk, 1u);
   EXPECT_NO_THROW(audit::check_cluster(c));
   EXPECT_NO_THROW(c.cross_check());
 
   // A mesh over a free pair still commits.
   EXPECT_EQ(c.open(span({{2, 2}, {3, 2}})).result, cl::Admit::kAccepted);
+  c.stop();
+}
+
+TEST(Cluster, ReferenceProtocolRollsBackLegsAtCommitTimeExhaustion) {
+  cl::ClusterConfig cfg = small_config();
+  cfg.trunk_lanes = 1;
+  cl::Cluster c(cfg);
+  c.start();
+  ASSERT_EQ(c.admit_span_reference(span({{0, 2}, {1, 2}})).result,
+            cl::Admit::kAccepted);
+  c.drain();
+  const auto before = c.runtime_snapshot();
+
+  // The two-round oracle reserves both legs first and only then discovers
+  // the exhausted mesh — it must roll every shard reservation back.
+  const auto r = c.admit_span_reference(span({{0, 3}, {1, 3}}));
+  EXPECT_EQ(r.result, cl::Admit::kBlockedTrunk);
+  c.drain();
+  const auto after = c.runtime_snapshot();
+  EXPECT_EQ(after.total.active_sessions, before.total.active_sessions)
+      << "trunk-blocked reference span left shard sessions behind";
+  EXPECT_EQ(c.stats().legs_rolled_back, 2u);
+  EXPECT_EQ(c.stats().span_blocked_trunk, 1u);
+  EXPECT_NO_THROW(audit::check_cluster(c));
+  EXPECT_NO_THROW(c.cross_check());
+
+  // Reference-admitted spans are ordinary live conferences.
+  const auto ok = c.admit_span_reference(span({{2, 2}, {3, 2}}));
+  ASSERT_EQ(ok.result, cl::Admit::kAccepted);
+  EXPECT_TRUE(c.close(ok.id));
+  c.stop();
+}
+
+TEST(Cluster, MultiplexedLaneCarriesSeveralSpansAndFailsAsOne) {
+  cl::ClusterConfig cfg = small_config();
+  cfg.trunk_lanes = 1;
+  cfg.conferences_per_lane = 2;
+  cl::Cluster c(cfg);
+  c.start();
+  const auto a = c.open(span({{0, 2}, {1, 2}}));
+  const auto b = c.open(span({{0, 1}, {1, 1}}));
+  ASSERT_EQ(a.result, cl::Admit::kAccepted);
+  ASSERT_EQ(b.result, cl::Admit::kAccepted)
+      << "one lane at conferences_per_lane=2 must carry a second span";
+  EXPECT_EQ(c.trunks().used(0, 1), 1u);
+  EXPECT_EQ(c.trunks().sharers(0, 1), 2u);
+  EXPECT_EQ(c.open(span({{0, 1}, {1, 1}})).result, cl::Admit::kBlockedTrunk)
+      << "the sharer bound (lanes * conferences_per_lane) still applies";
+  EXPECT_NO_THROW(c.cross_check());
+
+  // The lane is one physical resource: its fault interrupts every sharer.
+  const auto torn = c.fail_trunk(0, 1);
+  ASSERT_EQ(torn.size(), 2u);
+  EXPECT_EQ(c.active_conferences(), 0u);
+  EXPECT_EQ(c.trunks().sharers(0, 1), 0u);
+  EXPECT_EQ(c.stats().span_interrupted, 2u);
+  EXPECT_NO_THROW(audit::check_cluster(c));
+  EXPECT_NO_THROW(c.cross_check());
   c.stop();
 }
 
@@ -360,20 +470,133 @@ TEST(Cluster, OutcomesAreIndependentOfWorkerCount) {
 TEST(ClusterAudit, TrunkAccountCheckerFiresOnEveryCorruption) {
   const std::vector<u32> used = {1, 0, 2};
   const std::vector<bool> healthy = {false, false, false};
-  EXPECT_NO_THROW(audit::check_trunk_accounts(used, used, 2, healthy));
-  EXPECT_THROW(audit::check_trunk_accounts(used, {1, 0, 1}, 2, healthy),
+  EXPECT_NO_THROW(audit::check_trunk_accounts(used, used, 2, 1, healthy));
+  EXPECT_THROW(audit::check_trunk_accounts(used, {1, 0, 1}, 2, 1, healthy),
                audit::AuditError)
       << "usage/recount disagreement must fire";
-  EXPECT_THROW(audit::check_trunk_accounts({3, 0, 0}, {3, 0, 0}, 2, healthy),
-               audit::AuditError)
+  EXPECT_THROW(
+      audit::check_trunk_accounts({3, 0, 0}, {3, 0, 0}, 2, 1, healthy),
+      audit::AuditError)
       << "over-capacity pair must fire";
   EXPECT_THROW(
-      audit::check_trunk_accounts(used, used, 2, {true, false, false}),
+      audit::check_trunk_accounts(used, used, 2, 1, {true, false, false}),
       audit::AuditError)
-      << "faulty pair with live lanes must fire";
-  EXPECT_THROW(audit::check_trunk_accounts(used, {1, 0}, 2, healthy),
+      << "faulty pair with live sharers must fire";
+  EXPECT_THROW(audit::check_trunk_accounts(used, {1, 0}, 2, 1, healthy),
                audit::AuditError)
       << "pair-count mismatch must fire";
+  EXPECT_THROW(audit::check_trunk_accounts(used, used, 2, 0, healthy),
+               audit::AuditError)
+      << "conferences_per_lane below one must fire";
+
+  // Multiplexed ledgers: used lanes must equal ceil(sharers / cpl).
+  const std::vector<bool> h2 = {false, false};
+  EXPECT_NO_THROW(audit::check_trunk_accounts({1, 2}, {2, 3}, 2, 2, h2));
+  EXPECT_THROW(audit::check_trunk_accounts({2, 0}, {2, 0}, 2, 2, h2),
+               audit::AuditError)
+      << "a lane lit below the sharer boundary must fire";
+  EXPECT_THROW(audit::check_trunk_accounts({1, 0}, {5, 0}, 2, 2, h2),
+               audit::AuditError)
+      << "sharers beyond lanes * conferences_per_lane must fire";
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic-vs-reference protocol equivalence (randomized, multi-seed,
+// multi-worker). kFirstFit placement consumes no RNG, so two clusters fed
+// the identical command sequence stay in lockstep; the single-round claim
+// and the two-round oracle must then agree on every accept/refuse verdict
+// and converge to the same live state (only the blocking *cause* counters
+// may differ — the optimistic claim sees the trunk first).
+// ---------------------------------------------------------------------------
+
+void run_equivalence_script(cl::Cluster& fast, cl::Cluster& oracle,
+                            u64 seed) {
+  confnet::util::Rng rng(seed);
+  const u32 shards = fast.config().shards;
+  std::vector<u64> ids;  // identical in both clusters by the verdict match
+  for (int step = 0; step < 150; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.35) {
+      const u32 shard = static_cast<u32>(rng.below(shards));
+      const u32 size = static_cast<u32>(rng.between(2, 6));
+      const auto rf = fast.open({{shard, size}});
+      const auto ro = oracle.open({{shard, size}});
+      ASSERT_EQ(rf.result, ro.result) << "intra verdict diverged, step "
+                                      << step;
+      if (rf.result == cl::Admit::kAccepted) {
+        ASSERT_EQ(rf.id, ro.id);
+        ids.push_back(rf.id);
+      }
+    } else if (roll < 0.75) {
+      const u32 a = static_cast<u32>(rng.below(shards));
+      const u32 b = (a + 1 + static_cast<u32>(rng.below(shards - 1))) % shards;
+      const auto legs = span(
+          {{std::min(a, b), static_cast<u32>(rng.between(1, 3))},
+           {std::max(a, b), static_cast<u32>(rng.between(1, 3))}});
+      const auto rf = fast.open(legs);
+      const auto ro = oracle.admit_span_reference(legs);
+      ASSERT_EQ(rf.result == cl::Admit::kAccepted,
+                ro.result == cl::Admit::kAccepted)
+          << "span verdict diverged, step " << step;
+      if (rf.result == cl::Admit::kAccepted) {
+        ASSERT_EQ(rf.id, ro.id);
+        ids.push_back(rf.id);
+      }
+    } else if (roll < 0.92 && !ids.empty()) {
+      const std::size_t pick = rng.below(ids.size());
+      ASSERT_EQ(fast.close(ids[pick]), oracle.close(ids[pick]));
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const u32 a = static_cast<u32>(rng.below(shards));
+      const u32 b = (a + 1) % shards;
+      const auto tf = fast.fail_trunk(std::min(a, b), std::max(a, b));
+      const auto to = oracle.fail_trunk(std::min(a, b), std::max(a, b));
+      ASSERT_EQ(tf, to) << "trunk-fault teardown diverged, step " << step;
+      for (const u64 id : tf)
+        ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+      ASSERT_EQ(fast.repair_trunk(std::min(a, b), std::max(a, b)),
+                oracle.repair_trunk(std::min(a, b), std::max(a, b)));
+    }
+  }
+}
+
+TEST(Cluster, OptimisticProtocolMatchesReferenceAcrossSeedsAndWorkers) {
+  for (const u32 workers : {1u, 2u}) {
+    for (const u32 cpl : {1u, 2u}) {
+      for (const u64 seed : {3u, 11u, 27u}) {
+        cl::ClusterConfig cfg = small_config(4, workers);
+        cfg.trunk_lanes = 1;  // make trunk refusals common
+        cfg.conferences_per_lane = cpl;
+        cl::Cluster fast(cfg);
+        cl::Cluster oracle(cfg);
+        fast.start();
+        oracle.start();
+        run_equivalence_script(fast, oracle, seed);
+        if (::testing::Test::HasFatalFailure()) return;
+        fast.drain();
+        oracle.drain();
+
+        // Converged state must be identical; cause counters are exempt.
+        EXPECT_EQ(fast.active_conferences(), oracle.active_conferences());
+        EXPECT_EQ(fast.active_spans(), oracle.active_spans());
+        EXPECT_EQ(fast.trunks().reserved_total(),
+                  oracle.trunks().reserved_total());
+        EXPECT_EQ(fast.trunks().sharers_total(),
+                  oracle.trunks().sharers_total());
+        EXPECT_EQ(fast.stats().span_accepted, oracle.stats().span_accepted);
+        EXPECT_EQ(fast.stats().span_blocked_local +
+                      fast.stats().span_blocked_trunk,
+                  oracle.stats().span_blocked_local +
+                      oracle.stats().span_blocked_trunk)
+            << "total refusals must match even when causes differ";
+        EXPECT_NO_THROW(fast.cross_check())
+            << "workers=" << workers << " cpl=" << cpl << " seed=" << seed;
+        EXPECT_NO_THROW(oracle.cross_check());
+        fast.stop();
+        oracle.stop();
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -437,6 +660,28 @@ TEST(ClusterTraffic, SkewedRegionsAndFaultsKeepConservation) {
   EXPECT_GT(snap.shards[0].opens, snap.shards[3].opens);
   EXPECT_NO_THROW(c.cross_check());
   c.stop();
+}
+
+TEST(ClusterTraffic, RepairGatedRetryQueueKeepsConservation) {
+  cl::Cluster c(small_config());
+  sim::ClusterTrafficConfig cfg = traffic_config(31);
+  cfg.retry_on_repair = true;  // park victims until the repair fires
+  const auto r = sim::run_cluster_traffic(c, cfg);
+  EXPECT_TRUE(r.functional_ok);
+  EXPECT_TRUE(r.stats.consistent());
+  EXPECT_GT(r.interrupted, 0u) << "the fault rates must produce victims";
+  EXPECT_EQ(r.interrupted, r.reopened + r.lost)
+      << "parked victims must resolve to reopened or lost, never vanish";
+  EXPECT_NO_THROW(c.cross_check());
+  c.stop();
+
+  // Determinism holds in the parked mode too.
+  cl::Cluster c2(small_config());
+  const auto r2 = sim::run_cluster_traffic(c2, cfg);
+  EXPECT_EQ(r.events, r2.events);
+  EXPECT_EQ(r.reopened, r2.reopened);
+  EXPECT_EQ(r.lost, r2.lost);
+  c2.stop();
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 // Functional tests of the concurrent admission runtime: command routing,
-// the bounded-queue edge cases (backpressure, drain-on-stop with in-flight
-// batches, post-stop rejection), cross-shard snapshot consistency, fault
-// commands, and the worker-count determinism contract (per-shard outcomes
-// depend only on the per-shard command sequence and seed, never on how
-// shards are packed onto worker threads).
+// the bounded-queue edge cases (backpressure, bounce-once accounting
+// across retries, drain-on-stop with in-flight batches, post-stop
+// rejection), the lock-lean producer path (pooled completions that
+// recycle their slots, staged bursts with one wake per flush, tiny-queue
+// flushes that must not self-deadlock), cross-shard snapshot consistency,
+// fault commands, and the worker-count determinism contract (per-shard
+// outcomes depend only on the per-shard command sequence and seed, never
+// on how shards are packed onto worker threads).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -187,6 +190,143 @@ TEST(Runtime, FullQueueBackpressureReturnsCommandToCaller) {
   EXPECT_EQ(completions.load(), 4);
   EXPECT_TRUE(extra_completed);
   EXPECT_EQ(r.snapshot().total.completed, 5u);
+}
+
+TEST(Runtime, BouncedSubmitsAreCountedOnceAcrossRetry) {
+  // Regression: a command that bounces off a full queue and is later
+  // resubmitted must contribute exactly once to the pushed()-derived stats
+  // (completed / submitted watermark). The bounces themselves are tracked
+  // separately in submit_bounced.
+  rt::RuntimeConfig cfg = small_config(1, 1);
+  cfg.shard.queue_depth = 4;
+  rt::Runtime r(cfg);
+
+  std::atomic<int> completions{0};
+  for (int i = 0; i < 4; ++i) {
+    rt::Command c = open_cmd(2);
+    c.done = [&](rt::CommandResult&&) { completions.fetch_add(1); };
+    ASSERT_EQ(r.submit_to(0, std::move(c)), rt::SubmitStatus::kAccepted);
+  }
+  rt::Command extra = open_cmd(2);
+  extra.done = [&](rt::CommandResult&&) { completions.fetch_add(1); };
+  EXPECT_EQ(r.submit_to(0, std::move(extra)), rt::SubmitStatus::kQueueFull);
+  EXPECT_EQ(r.submit_to(0, std::move(extra)), rt::SubmitStatus::kQueueFull)
+      << "a second attempt against the still-full queue bounces again";
+  EXPECT_EQ(r.snapshot().total.submit_bounced, 2u);
+
+  r.start();
+  r.drain();
+  EXPECT_EQ(r.submit_to(0, std::move(extra)), rt::SubmitStatus::kAccepted);
+  r.drain();
+  r.stop();
+
+  EXPECT_EQ(completions.load(), 5);
+  const rt::RuntimeSnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.total.completed, 5u)
+      << "the retried command must count once, not once per bounce";
+  EXPECT_EQ(snap.total.opens, 5u);
+  EXPECT_EQ(snap.total.submit_bounced, 2u);
+  EXPECT_EQ(r.submitted(), 5u);
+  for (const rt::ShardStats& s : snap.shards) EXPECT_TRUE(s.consistent());
+}
+
+// ---------------------------------------------------------------------------
+// Pooled completions and staged bursts (the lock-lean producer path).
+// ---------------------------------------------------------------------------
+
+TEST(Runtime, PooledCallsMatchFuturesAndRecycleSlots) {
+  rt::Runtime r(small_config(2, 1));
+  r.start();
+
+  // Round-trip parity with the future path.
+  auto opened = r.call_pooled(0, open_cmd(3)).take();
+  ASSERT_EQ(opened.status, rt::CommandStatus::kDone);
+  ASSERT_TRUE(opened.open.session.has_value());
+  rt::Command close;
+  close.kind = rt::CommandKind::kClose;
+  close.session = *opened.open.session;
+  EXPECT_TRUE(r.call_pooled(0, std::move(close)).take().ok);
+
+  // A sequential open/close churn keeps exactly one slot in flight — the
+  // pool must not grow past the concurrency high-water mark.
+  const std::size_t before = r.pooled_slots();
+  for (int i = 0; i < 200; ++i) {
+    auto res = r.call_pooled(i % 2, open_cmd(2)).take();
+    if (res.open.session) {
+      rt::Command c;
+      c.kind = rt::CommandKind::kClose;
+      c.session = *res.open.session;
+      (void)r.call_pooled(i % 2, std::move(c)).take();
+    }
+  }
+  EXPECT_EQ(r.pooled_slots(), before)
+      << "steady-state pooled churn must recycle, never grow the arena";
+
+  // An abandoned handle settles instead of leaking or racing: the dtor
+  // waits for the in-flight fulfill, then recycles the slot.
+  { auto dropped = r.call_pooled(0, open_cmd(2)); }
+  r.drain();
+  EXPECT_EQ(r.pooled_slots(), before);
+  r.stop();
+
+  // Post-stop pooled calls complete inline with kRejectedStopped.
+  EXPECT_EQ(r.call_pooled(0, open_cmd(2)).take().status,
+            rt::CommandStatus::kRejectedStopped);
+}
+
+TEST(Runtime, StagedBurstFlushesEveryCommandInOrder) {
+  rt::RuntimeConfig cfg = small_config(4, 2);
+  rt::Runtime r(cfg);
+  r.start();
+
+  rt::CommandStage stage;
+  std::vector<rt::PooledResult> pending;
+  for (u32 s = 0; s < 4; ++s)
+    for (int i = 0; i < 8; ++i)
+      pending.push_back(r.stage_call(stage, s, open_cmd(2)));
+  EXPECT_EQ(stage.size(), 32u);
+  ASSERT_EQ(r.submit_stage(stage), rt::SubmitStatus::kAccepted);
+  EXPECT_TRUE(stage.empty()) << "a flushed stage must be left empty";
+
+  u32 served = 0;
+  for (auto& p : pending) {
+    const auto res = p.take();
+    EXPECT_EQ(res.status, rt::CommandStatus::kDone);
+    if (res.open.session) ++served;
+  }
+  EXPECT_GE(served, 8u);
+  r.drain();
+  EXPECT_EQ(r.snapshot().total.completed, 32u);
+
+  // A stage flushed into a stopped runtime reports kStopped and every
+  // pooled handle still completes inline.
+  r.stop();
+  pending.clear();
+  rt::CommandStage late;
+  pending.push_back(r.stage_call(late, 0, open_cmd(2)));
+  EXPECT_EQ(r.submit_stage(late), rt::SubmitStatus::kStopped);
+  EXPECT_EQ(pending.front().take().status,
+            rt::CommandStatus::kRejectedStopped);
+}
+
+TEST(Runtime, StagedBurstSurvivesTinyQueues) {
+  // Burst wider than the queue: submit_stage must wake the owning worker
+  // mid-flush and block for space instead of deadlocking against its own
+  // deferred wakeup.
+  rt::RuntimeConfig cfg = small_config(1, 1);
+  cfg.shard.queue_depth = 4;
+  rt::Runtime r(cfg);
+  r.start();
+
+  rt::CommandStage stage;
+  std::vector<rt::PooledResult> pending;
+  for (int i = 0; i < 64; ++i)
+    pending.push_back(r.stage_call(stage, 0, open_cmd(2)));
+  ASSERT_EQ(r.submit_stage(stage), rt::SubmitStatus::kAccepted);
+  for (auto& p : pending)
+    EXPECT_EQ(p.take().status, rt::CommandStatus::kDone);
+  r.stop();
+  EXPECT_EQ(r.snapshot().total.completed, 64u);
 }
 
 TEST(Runtime, StopDrainsInFlightBatchesExactlyOnce) {

@@ -2,7 +2,7 @@
 """Run the hot-path benchmark sections and merge them into one artifact.
 
 Usage:
-    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr9.json]
+    python3 tools/perf_smoke.py [--build-dir DIR] [--out BENCH_pr10.json]
         [--min-time SECONDS]
 
 Runs the BM_* timing sections of the benchmark binaries that cover the
@@ -24,9 +24,12 @@ optimized hot paths:
     resolved backend) vs BM_PropagateReference (retained set-based oracle)
     over one deterministically populated fabric; the fan-op counters are
     seed-determined and identical across backends;
-  * bench_e16_cluster — BM_ClusterIntraChurn vs BM_ClusterSpanChurn at
-    --workers 1,2 (trunked multi-fabric cluster; spanning conferences pay
-    reserve-then-commit two-phase setup plus a trunk-mesh reservation).
+  * bench_e16_cluster — BM_ClusterIntraChurn vs BM_ClusterSpanChurn vs
+    BM_ClusterSpanChurnReference at --workers 1,2 (trunked multi-fabric
+    cluster; spanning conferences go through the single-round optimistic
+    claim, and the Reference twin replays the identical churn through the
+    retained two-round reserve-then-commit oracle — the gap is the PR 10
+    protocol win at gate-identical admission counters).
 
 Each binary writes a native google-benchmark JSON file; the tool merges
 them into one document whose top-level "benchmarks" array carries
@@ -34,7 +37,7 @@ binary-prefixed names ("bench_e2_multiplicity/BM_MeasureMultiplicity/6"),
 ready for tools/compare_bench.py's timing section:
 
     python3 tools/perf_smoke.py --out BENCH_new.json
-    python3 tools/compare_bench.py BENCH_pr9.json BENCH_new.json --warn-only
+    python3 tools/compare_bench.py BENCH_pr10.json BENCH_new.json --warn-only
 
 Worker-count invariance is checked here, not in compare_bench.py: rows of
 the same benchmark differing only in their /workers:N suffix must report
@@ -154,7 +157,7 @@ def main() -> int:
     parser.add_argument("--build-dir", type=Path, default=None,
                         help="build tree holding bench/ (default: search "
                              f"{', '.join(SEARCH_DIRS)})")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_pr9.json"))
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pr10.json"))
     parser.add_argument("--min-time", type=float, default=0.0,
                         help="--benchmark_min_time per benchmark (seconds); "
                              "0 keeps the google-benchmark default")

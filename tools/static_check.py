@@ -16,8 +16,11 @@ installed). Enforces the repo-specific rules that the compiler cannot:
   hot-alloc        Functions marked CONFNET_HOT (the allocation-free
                    kernels: measure_multiplicity, FabricState mutation
                    deltas, the HierBitset placers, the util::simd
-                   backends and the SignalPlane row accessors) must not
-                   heap-allocate or grow containers in their bodies.
+                   backends, the SignalPlane row accessors, and the
+                   runtime's lock-lean command path — the bounded MPSC
+                   ring queue, the slot-recycled result pool, and the
+                   staging-buffer push) must not heap-allocate or grow
+                   containers in their bodies.
                    HOT_CONTRACT below additionally pins the functions
                    that MUST carry the marker — dropping CONFNET_HOT from
                    a listed kernel (or renaming it without updating the
@@ -171,6 +174,24 @@ HOT_CONTRACT: dict[str, list[str]] = {
     # Fail/repair fast path: dirties link users via the reused scratch.
     "src/switchmod/fabric_state.cpp": [
         "mark_link_users_dirty",
+    ],
+    # Lock-lean command path (PR 10): the bounded MPSC ring buffer's
+    # producer/consumer primitives must stay on the preallocated ring.
+    "src/runtime/queue.hpp": [
+        "try_push", "push_wait", "pop_batch", "place",
+    ],
+    # Slot-recycled completion arena: acquire/release recycle capacity and
+    # the rendezvous itself never allocates.
+    "src/runtime/result_pool.hpp": [
+        "fulfill", "wait_take",
+    ],
+    "src/runtime/result_pool.cpp": [
+        "acquire", "release",
+    ],
+    # Producer-side staging buffer: add() reuses the staged vector's
+    # capacity across flushes.
+    "src/runtime/runtime.hpp": [
+        "add",
     ],
 }
 
